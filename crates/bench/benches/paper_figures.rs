@@ -1,0 +1,73 @@
+//! Criterion benches: one per paper table/figure, exercising the simulator
+//! at reduced scale so `cargo bench` finishes in minutes. The figure
+//! *binaries* (src/bin/fig*.rs) regenerate the full rows; these benches
+//! track the simulator's own performance per experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcmap_core::SystemKind;
+use pcmap_sim::experiments::{fig2, run_one, EvalScale};
+use pcmap_sim::{SimConfig, System};
+use pcmap_types::TimingParams;
+use pcmap_workloads::catalog;
+
+fn tiny() -> EvalScale {
+    EvalScale { requests: 1_500, full_mt: false }
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let wl = catalog::by_name("mcf").unwrap();
+    c.bench_function("fig01_baseline_asym_vs_sym", |b| {
+        b.iter(|| {
+            let asym = run_one(&wl, SystemKind::Baseline, tiny());
+            let cfg = SimConfig::paper_default(SystemKind::Baseline)
+                .with_requests(tiny().requests)
+                .with_timing(TimingParams::paper_default().symmetric());
+            let sym = System::new(cfg, wl.clone()).run();
+            (asym.mean_read_latency, sym.mean_read_latency)
+        })
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    c.bench_function("fig02_dirty_word_distribution", |b| b.iter(|| fig2(2_000)));
+}
+
+fn bench_fig8_to_11(c: &mut Criterion) {
+    let wl = catalog::by_name("streamcluster").unwrap();
+    for kind in SystemKind::all() {
+        c.bench_function(&format!("fig08_11_matrix_{}", kind.label()), |b| {
+            b.iter(|| run_one(&wl, kind, tiny()))
+        });
+    }
+}
+
+fn bench_tab3(c: &mut Criterion) {
+    let wl = catalog::by_name("MP4").unwrap();
+    c.bench_function("tab03_ratio8_rwow_rde", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::paper_default(SystemKind::RwowRde)
+                .with_requests(tiny().requests)
+                .with_timing(TimingParams::paper_default().with_write_to_read_ratio(8));
+            System::new(cfg, wl.clone()).run().ipc()
+        })
+    });
+}
+
+fn bench_tab4(c: &mut Criterion) {
+    let wl = catalog::by_name("canneal").unwrap();
+    c.bench_function("tab04_rollback_faulty_bound", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::paper_default(SystemKind::RwowRde)
+                .with_requests(tiny().requests)
+                .with_rollback(pcmap_core::RollbackMode::AlwaysFaulty);
+            System::new(cfg, wl.clone()).run().rollbacks
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_secs(1)).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_fig1, bench_fig2, bench_fig8_to_11, bench_tab3, bench_tab4
+}
+criterion_main!(figures);

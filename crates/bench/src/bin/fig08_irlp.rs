@@ -1,0 +1,14 @@
+//! Figure 8: intra-rank-level parallelism (IRLP) per system.
+
+use pcmap_bench::{matrix_with_averages, render_metric, scale_from_args};
+use pcmap_core::SystemKind;
+
+fn main() {
+    let rows = matrix_with_averages(scale_from_args());
+    println!("Figure 8 — IRLP during writes (max 8.0)");
+    println!("Paper: baseline ~2.4 average; RWoW-RDE 4.5 average, up to 7.4.\n");
+    let kinds = [SystemKind::Baseline, SystemKind::WowNr, SystemKind::RwowRd, SystemKind::RwowRde];
+    print!("{}", render_metric(&rows, &kinds, |r| r.irlp_mean, 2));
+    println!("\nPer-write maxima:");
+    print!("{}", render_metric(&rows, &kinds, |r| r.irlp_max, 2));
+}

@@ -1,0 +1,12 @@
+//! Figure 10: effective read latency normalized to the baseline.
+
+use pcmap_bench::{matrix_with_averages, render_metric_normalized, scale_from_args};
+use pcmap_core::SystemKind;
+
+fn main() {
+    let rows = matrix_with_averages(scale_from_args());
+    println!("Figure 10 — effective read latency, normalized to baseline (lower is better)");
+    println!("Paper: RoW-NR 0.86-0.94; RWoW-RDE ~0.5.\n");
+    let kinds = SystemKind::all();
+    print!("{}", render_metric_normalized(&rows, &kinds[1..], |r| r.mean_read_latency));
+}

@@ -1,0 +1,38 @@
+//! Runs the Figures 8–11 evaluation matrix once and prints all four
+//! figures (convenience for full regeneration; the individual fig*
+//! binaries produce the same rows).
+
+use pcmap_bench::{matrix_with_averages, render_metric, render_metric_normalized, scale_from_args};
+use pcmap_core::SystemKind;
+use pcmap_sim::TableBuilder;
+
+fn main() {
+    let rows = matrix_with_averages(scale_from_args());
+    let kinds = SystemKind::all();
+
+    println!("=== Figure 8 — IRLP during writes (max 8.0) ===\n");
+    print!("{}", render_metric(&rows, &kinds, |r| r.irlp_mean, 2));
+    println!("\nPer-write maxima:");
+    print!("{}", render_metric(&rows, &kinds, |r| r.irlp_max, 2));
+
+    println!("\n=== Figure 9 — write throughput vs baseline ===\n");
+    print!("{}", render_metric_normalized(&rows, &kinds[1..], |r| r.write_throughput));
+
+    println!("\n=== Figure 10 — effective read latency vs baseline ===\n");
+    print!("{}", render_metric_normalized(&rows, &kinds[1..], |r| r.mean_read_latency));
+
+    println!("\n=== Figure 11 — IPC improvement over baseline [%] ===\n");
+    let pk = SystemKind::pcmap_variants();
+    let mut headers = vec!["workload"];
+    headers.extend(pk.iter().map(|k| k.label()));
+    let mut t = TableBuilder::new(&headers);
+    for row in &rows {
+        let base = row.report(SystemKind::Baseline).ipc();
+        let mut cells = vec![row.name.clone()];
+        for &k in &pk {
+            cells.push(format!("{:+.1}", (row.report(k).ipc() / base - 1.0) * 100.0));
+        }
+        t.row(&cells);
+    }
+    print!("{}", t.render());
+}

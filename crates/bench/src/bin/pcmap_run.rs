@@ -1,0 +1,148 @@
+//! General-purpose simulation runner.
+//!
+//! ```text
+//! pcmap_run [--workload NAME] [--system KIND] [--requests N]
+//!           [--ratio R] [--seed S] [--rollback faulty|clean] [--all]
+//! ```
+//!
+//! `KIND` is one of `baseline`, `row-nr`, `wow-nr`, `rwow-nr`, `rwow-rd`,
+//! `rwow-rde`; `--all` runs every system and prints a comparison table.
+
+use pcmap_core::{RollbackMode, SystemKind};
+use pcmap_sim::{RunReport, SimConfig, System, TableBuilder};
+use pcmap_types::TimingParams;
+use pcmap_workloads::catalog;
+
+struct Args {
+    workload: String,
+    system: SystemKind,
+    requests: u64,
+    ratio: Option<u64>,
+    seed: u64,
+    rollback: RollbackMode,
+    all: bool,
+}
+
+fn parse_system(v: &str) -> Option<SystemKind> {
+    SystemKind::all()
+        .into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(v) || k.label().replace("oW-", "ow-").eq_ignore_ascii_case(v))
+        .or_else(|| match v.to_ascii_lowercase().as_str() {
+            "baseline" => Some(SystemKind::Baseline),
+            "row-nr" | "row" => Some(SystemKind::RowNr),
+            "wow-nr" | "wow" => Some(SystemKind::WowNr),
+            "rwow-nr" => Some(SystemKind::RwowNr),
+            "rwow-rd" => Some(SystemKind::RwowRd),
+            "rwow-rde" | "pcmap" => Some(SystemKind::RwowRde),
+            _ => None,
+        })
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: "canneal".to_owned(),
+        system: SystemKind::RwowRde,
+        requests: 16_000,
+        ratio: None,
+        seed: 0xC0FFEE,
+        rollback: RollbackMode::NeverFaulty,
+        all: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--workload" | "-w" => args.workload = value("--workload")?,
+            "--system" | "-s" => {
+                let v = value("--system")?;
+                args.system = parse_system(&v).ok_or(format!("unknown system '{v}'"))?;
+            }
+            "--requests" | "-n" => {
+                args.requests =
+                    value("--requests")?.parse().map_err(|e| format!("bad count: {e}"))?;
+            }
+            "--ratio" | "-r" => {
+                args.ratio =
+                    Some(value("--ratio")?.parse().map_err(|e| format!("bad ratio: {e}"))?);
+            }
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--rollback" => {
+                args.rollback = match value("--rollback")?.as_str() {
+                    "faulty" => RollbackMode::AlwaysFaulty,
+                    "clean" => RollbackMode::NeverFaulty,
+                    other => return Err(format!("unknown rollback mode '{other}'")),
+                };
+            }
+            "--all" | "-a" => args.all = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: pcmap_run [--workload NAME] [--system KIND] [--requests N] \
+                     [--ratio R] [--seed S] [--rollback faulty|clean] [--all]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn run(args: &Args, kind: SystemKind) -> RunReport {
+    let wl = catalog::by_name(&args.workload).unwrap_or_else(|| {
+        eprintln!("unknown workload '{}'; known: canneal, dedup, ..., MP1-MP6, SPEC names, stream", args.workload);
+        std::process::exit(2);
+    });
+    let mut cfg = SimConfig::paper_default(kind)
+        .with_requests(args.requests)
+        .with_seed(args.seed)
+        .with_rollback(args.rollback);
+    if let Some(r) = args.ratio {
+        cfg = cfg.with_timing(TimingParams::paper_default().with_write_to_read_ratio(r));
+    }
+    System::new(cfg, wl).run()
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let kinds: Vec<SystemKind> =
+        if args.all { SystemKind::all().to_vec() } else { vec![args.system] };
+
+    let mut t = TableBuilder::new(&[
+        "system",
+        "IPC",
+        "read lat (mean/p95)",
+        "write tput",
+        "IRLP (mean/max)",
+        "RoW reads",
+        "WoW overlaps",
+        "rollbacks",
+    ]);
+    for kind in kinds {
+        let r = run(&args, kind);
+        t.row(&[
+            kind.label().to_string(),
+            format!("{:.3}", r.ipc()),
+            format!("{:.1}/{}", r.mean_read_latency, r.p95_read_latency),
+            format!("{:.1}", r.write_throughput),
+            format!("{:.2}/{:.2}", r.irlp_mean, r.irlp_max),
+            r.reads_via_row.to_string(),
+            r.wow_overlaps.to_string(),
+            r.rollbacks.to_string(),
+        ]);
+    }
+    println!(
+        "workload {} · {} requests · seed {:#x}{}",
+        args.workload,
+        args.requests,
+        args.seed,
+        args.ratio.map(|r| format!(" · write:read {r}x")).unwrap_or_default()
+    );
+    print!("{}", t.render());
+}

@@ -1,0 +1,45 @@
+//! Table II: workload characterization (RPKI / WPKI), paper values vs the
+//! measured rates of the generated streams.
+
+use pcmap_sim::TableBuilder;
+use pcmap_workloads::catalog;
+use pcmap_workloads::{CoreStream, StreamOp};
+
+fn measure(w: &catalog::Workload) -> (f64, f64) {
+    let (mut insts, mut reads, mut writes) = (0u64, 0u64, 0u64);
+    for (i, p) in w.per_core.iter().enumerate() {
+        let mut g = CoreStream::new(p, i, 42);
+        let mut local = 0u64;
+        while local < 250_000 {
+            match g.next_op() {
+                StreamOp::Compute(n) => local += n,
+                StreamOp::Read(_) => {
+                    reads += 1;
+                    local += 1;
+                }
+                StreamOp::Write { .. } => {
+                    writes += 1;
+                    local += 1;
+                }
+            }
+        }
+        insts += local;
+    }
+    (reads as f64 * 1000.0 / insts as f64, writes as f64 * 1000.0 / insts as f64)
+}
+
+fn main() {
+    println!("Table II — workload characterization\n");
+    let mut t = TableBuilder::new(&["workload", "RPKI (paper)", "RPKI (measured)", "WPKI (paper)", "WPKI (measured)"]);
+    for w in catalog::mt_selected().into_iter().chain(catalog::mp_workloads()) {
+        let (r, wr) = measure(&w);
+        t.row(&[
+            w.name.clone(),
+            format!("{:.2}", w.rpki()),
+            format!("{r:.2}"),
+            format!("{:.2}", w.wpki()),
+            format!("{wr:.2}"),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,27 @@
+//! Table IV: cost of RoW rollbacks — IPC improvement under the
+//! always-faulty bound vs the none-faulty bound.
+
+use pcmap_bench::scale_from_args;
+use pcmap_sim::experiments::tab4;
+use pcmap_sim::TableBuilder;
+
+fn main() {
+    let rows = tab4(scale_from_args());
+    println!("Table IV — RoW rollback cost (RWoW-NR vs baseline; fixed layout always defers verification)");
+    println!("Paper: canneal 5.8% max rollbacks, 12.18% faulty / 14.87% none-faulty.\n");
+    let mut t = TableBuilder::new(&[
+        "workload",
+        "max rollbacks [%]",
+        "IPC imp. faulty [%]",
+        "IPC imp. none-faulty [%]",
+    ]);
+    for r in &rows {
+        t.row(&[
+            r.workload.clone(),
+            format!("{:.1}", r.max_rollback_pct),
+            format!("{:+.2}", r.faulty_imp_pct),
+            format!("{:+.2}", r.none_faulty_imp_pct),
+        ]);
+    }
+    print!("{}", t.render());
+}

@@ -1,0 +1,116 @@
+//! Shared plumbing for the experiment binaries that regenerate every table
+//! and figure of the paper (see DESIGN.md §3 for the index).
+//!
+//! Each binary accepts an optional scale argument: `quick`, `default`
+//! (the default) or `full`.
+
+#![warn(missing_docs)]
+
+use pcmap_core::SystemKind;
+use pcmap_sim::experiments::{evaluate_matrix, EvalScale, WorkloadEval};
+use pcmap_sim::{RunReport, TableBuilder};
+
+/// Parses the common `quick|default|full` CLI argument.
+pub fn scale_from_args() -> EvalScale {
+    match std::env::args().nth(1).as_deref() {
+        Some("quick") => EvalScale::quick(),
+        Some("full") => EvalScale::full(),
+        _ => EvalScale::default_scale(),
+    }
+}
+
+/// Runs the Figures 8–11 evaluation matrix and appends the two average
+/// rows the paper reports (`Average(MT)`, `Average(MP)`).
+pub fn matrix_with_averages(scale: EvalScale) -> Vec<WorkloadEval> {
+    let mut rows = evaluate_matrix(scale);
+    let avg = |rows: &[WorkloadEval], mt: bool, name: &str| -> WorkloadEval {
+        let group: Vec<&WorkloadEval> = rows.iter().filter(|r| r.multi_threaded == mt).collect();
+        let kinds = SystemKind::all();
+        let reports = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| {
+                let n = group.len() as f64;
+                let mut proto: RunReport = group[0].reports[i].clone();
+                proto.kind = k;
+                proto.workload = name.to_owned();
+                proto.irlp_mean =
+                    group.iter().map(|g| g.reports[i].irlp_mean).sum::<f64>() / n;
+                proto.irlp_max =
+                    group.iter().map(|g| g.reports[i].irlp_max).fold(0.0, f64::max);
+                proto.mean_read_latency =
+                    group.iter().map(|g| g.reports[i].mean_read_latency).sum::<f64>() / n;
+                proto.write_throughput =
+                    group.iter().map(|g| g.reports[i].write_throughput).sum::<f64>() / n;
+                // Aggregate IPC via totals.
+                proto.instructions = group.iter().map(|g| g.reports[i].instructions).sum();
+                proto.cpu_cycles = group.iter().map(|g| g.reports[i].cpu_cycles).sum();
+                proto
+            })
+            .collect();
+        WorkloadEval { name: name.to_owned(), multi_threaded: mt, reports }
+    };
+    let avg_mt = avg(&rows, true, "Average(MT)");
+    let avg_mp = avg(&rows, false, "Average(MP)");
+    // Insert Average(MT) after the MT rows, Average(MP) at the end.
+    let mp_start = rows.iter().position(|r| !r.multi_threaded).unwrap_or(rows.len());
+    rows.insert(mp_start, avg_mt);
+    rows.push(avg_mp);
+    rows
+}
+
+/// Renders one metric of the matrix as a paper-style table: one row per
+/// workload, one column per system.
+pub fn render_metric<F: Fn(&RunReport) -> f64>(
+    rows: &[WorkloadEval],
+    kinds: &[SystemKind],
+    metric: F,
+    decimals: usize,
+) -> String {
+    let mut headers = vec!["workload"];
+    let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+    headers.extend(labels.iter().copied());
+    let mut t = TableBuilder::new(&headers);
+    for row in rows {
+        let mut cells = vec![row.name.clone()];
+        for &k in kinds {
+            cells.push(format!("{:.*}", decimals, metric(row.report(k))));
+        }
+        t.row(&cells);
+    }
+    t.render()
+}
+
+/// Renders a metric normalized to the baseline system.
+pub fn render_metric_normalized<F: Fn(&RunReport) -> f64>(
+    rows: &[WorkloadEval],
+    kinds: &[SystemKind],
+    metric: F,
+) -> String {
+    let mut headers = vec!["workload"];
+    let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
+    headers.extend(labels.iter().copied());
+    let mut t = TableBuilder::new(&headers);
+    for row in rows {
+        let base = metric(row.report(SystemKind::Baseline));
+        let mut cells = vec![row.name.clone()];
+        for &k in kinds {
+            let v = metric(row.report(k));
+            cells.push(if base == 0.0 { "-".into() } else { format!("{:.3}", v / base) });
+        }
+        t.row(&cells);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_without_args() {
+        let s = scale_from_args();
+        // Running under the test harness there is no scale argument.
+        assert!(s.requests > 0);
+    }
+}

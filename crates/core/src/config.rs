@@ -1,0 +1,151 @@
+//! The six evaluated system configurations (§V of the paper).
+
+use crate::layout::Layout;
+use core::fmt;
+
+/// Which memory system to simulate.
+///
+/// Matches the paper's evaluation matrix exactly:
+///
+/// | Kind | RoW | WoW | data rotation | ECC/PCC rotation |
+/// |------|-----|-----|---------------|------------------|
+/// | `Baseline` | – | – | – | – |
+/// | `RowNr`    | ✓ | – | – | – |
+/// | `WowNr`    | – | ✓ | – | – |
+/// | `RwowNr`   | ✓ | ✓ | – | – |
+/// | `RwowRd`   | ✓ | ✓ | ✓ | – |
+/// | `RwowRde`  | ✓ | ✓ | ✓ | ✓ |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SystemKind {
+    /// Reads prioritized over writes; writes block the whole bank.
+    Baseline,
+    /// RoW only, no rotation.
+    RowNr,
+    /// WoW only, no rotation.
+    WowNr,
+    /// RoW + WoW, no rotation.
+    RwowNr,
+    /// RoW + WoW + data rotation.
+    RwowRd,
+    /// RoW + WoW + data and ECC/PCC rotation — the full PCMap design.
+    RwowRde,
+}
+
+impl SystemKind {
+    /// All six systems, in the paper's presentation order.
+    pub fn all() -> [SystemKind; 6] {
+        [
+            SystemKind::Baseline,
+            SystemKind::RowNr,
+            SystemKind::WowNr,
+            SystemKind::RwowNr,
+            SystemKind::RwowRd,
+            SystemKind::RwowRde,
+        ]
+    }
+
+    /// The five PCMap variants (everything but the baseline).
+    pub fn pcmap_variants() -> [SystemKind; 5] {
+        [
+            SystemKind::RowNr,
+            SystemKind::WowNr,
+            SystemKind::RwowNr,
+            SystemKind::RwowRd,
+            SystemKind::RwowRde,
+        ]
+    }
+
+    /// `true` if reads may overlap single-essential-word writes via parity
+    /// reconstruction.
+    pub fn row_enabled(self) -> bool {
+        matches!(
+            self,
+            SystemKind::RowNr | SystemKind::RwowNr | SystemKind::RwowRd | SystemKind::RwowRde
+        )
+    }
+
+    /// `true` if writes with disjoint chip sets may overlap.
+    pub fn wow_enabled(self) -> bool {
+        matches!(
+            self,
+            SystemKind::WowNr | SystemKind::RwowNr | SystemKind::RwowRd | SystemKind::RwowRde
+        )
+    }
+
+    /// The word→chip layout this system uses.
+    pub fn layout(self) -> Layout {
+        match self {
+            SystemKind::Baseline | SystemKind::RowNr | SystemKind::WowNr | SystemKind::RwowNr => {
+                Layout::fixed()
+            }
+            SystemKind::RwowRd => Layout::rotate_data(),
+            SystemKind::RwowRde => Layout::rotate_all(),
+        }
+    }
+
+    /// `true` for the baseline (non-sub-ranked) system.
+    pub fn is_baseline(self) -> bool {
+        self == SystemKind::Baseline
+    }
+
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Baseline => "Baseline",
+            SystemKind::RowNr => "RoW-NR",
+            SystemKind::WowNr => "WoW-NR",
+            SystemKind::RwowNr => "RWoW-NR",
+            SystemKind::RwowRd => "RWoW-RD",
+            SystemKind::RwowRde => "RWoW-RDE",
+        }
+    }
+}
+
+impl fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How RoW's deferred-verification risk is charged to the CPU (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RollbackMode {
+    /// Realistic: data is actually checked; with no injected faults no
+    /// rollback ever occurs ("none-faulty system").
+    #[default]
+    NeverFaulty,
+    /// Worst-case bound: every RoW read consumed before its deferred check
+    /// triggers a pipeline rollback ("faulty system").
+    AlwaysFaulty,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_matrix_matches_paper() {
+        use SystemKind::*;
+        assert!(!Baseline.row_enabled() && !Baseline.wow_enabled());
+        assert!(RowNr.row_enabled() && !RowNr.wow_enabled());
+        assert!(!WowNr.row_enabled() && WowNr.wow_enabled());
+        assert!(RwowNr.row_enabled() && RwowNr.wow_enabled());
+        assert_eq!(RwowNr.layout(), Layout::fixed());
+        assert_eq!(RwowRd.layout(), Layout::rotate_data());
+        assert_eq!(RwowRde.layout(), Layout::rotate_all());
+    }
+
+    #[test]
+    fn labels_and_ordering() {
+        assert_eq!(SystemKind::RwowRde.label(), "RWoW-RDE");
+        assert_eq!(SystemKind::all().len(), 6);
+        assert_eq!(SystemKind::pcmap_variants().len(), 5);
+        assert_eq!(SystemKind::Baseline.to_string(), "Baseline");
+        assert!(SystemKind::Baseline < SystemKind::RwowRde);
+    }
+
+    #[test]
+    fn rollback_default_is_realistic() {
+        assert_eq!(RollbackMode::default(), RollbackMode::NeverFaulty);
+    }
+}

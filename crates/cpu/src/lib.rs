@@ -1,0 +1,29 @@
+//! CPU substrate for the PCMap simulator.
+//!
+//! The paper evaluates PCMap under Gem5's out-of-order cores; this crate
+//! provides the substitute described in DESIGN.md:
+//!
+//! - [`CoreModel`] — a stall-accounting core: instructions retire at one
+//!   per CPU cycle, reads overlap up to an MLP window and stall the core
+//!   when the window fills, writes post to the memory controller with
+//!   back-pressure. IPC differences between memory systems come exactly
+//!   from memory stall time, which is the quantity PCMap changes.
+//! - [`Cache`] / [`Hierarchy`] — a real write-back cache hierarchy with
+//!   **per-word dirty masks**, used by the functional examples and tests to
+//!   produce organic essential-word distributions (as opposed to the
+//!   calibrated synthetic ones in `pcmap-workloads`).
+//! - [`RollbackModel`] — the Table IV cost model for RoW's deferred
+//!   verification: in the worst-case "always-faulty" accounting, every RoW
+//!   read consumed before its check triggers a pipeline squash.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod core_model;
+pub mod hierarchy;
+pub mod rollback;
+
+pub use cache::{AccessKind, Cache, CacheConfig, Eviction};
+pub use core_model::{CoreModel, CoreStats, WorkOp};
+pub use hierarchy::{Hierarchy, HierarchyConfig, MemAccess};
+pub use rollback::RollbackModel;

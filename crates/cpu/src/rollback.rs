@@ -1,0 +1,124 @@
+//! The RoW rollback cost model (§IV-B3 and Table IV of the paper).
+//!
+//! A RoW read hands data to the CPU before its deferred SECDED check. If
+//! the CPU *consumes* the line before the check completes and the data
+//! turns out faulty, the pipeline must squash back to that point. The paper
+//! measures the fraction of RoW reads consumed-before-check per workload
+//! (1.3 % on average, up to 5.8 % for canneal) and bounds the cost by
+//! comparing an *always-faulty* system (every consumed-before-check read
+//! rolls back) against a *none-faulty* one (no rollback ever).
+
+use pcmap_types::{Cycle, Xoshiro256};
+
+/// Decides which RoW reads incur a rollback.
+#[derive(Debug, Clone)]
+pub struct RollbackModel {
+    /// Probability that a RoW read is consumed before its deferred check.
+    consumed_p: f64,
+    /// Whether consumed-before-check reads are charged (the "faulty
+    /// system" bound) or not ("none-faulty").
+    always_faulty: bool,
+    /// Squash + refetch penalty in CPU cycles.
+    penalty_cpu: u64,
+    rng: Xoshiro256,
+    row_reads: u64,
+    consumed_before_check: u64,
+}
+
+impl RollbackModel {
+    /// Creates a model.
+    ///
+    /// `consumed_p` is the workload's consumed-before-check probability,
+    /// clamped to `[0, 1]`.
+    pub fn new(consumed_p: f64, always_faulty: bool, penalty_cpu: u64, seed: u64) -> Self {
+        Self {
+            consumed_p: consumed_p.clamp(0.0, 1.0),
+            always_faulty,
+            penalty_cpu,
+            rng: Xoshiro256::new(seed ^ 0x5ca1_ab1e),
+            row_reads: 0,
+            consumed_before_check: 0,
+        }
+    }
+
+    /// Registers a completed RoW read with a deferred check at
+    /// `verify_done`; returns `Some((squash_at, penalty_cpu))` if the read
+    /// must roll back.
+    pub fn on_row_read(&mut self, verify_done: Cycle) -> Option<(Cycle, u64)> {
+        self.row_reads += 1;
+        let consumed = self.rng.chance(self.consumed_p);
+        if consumed {
+            self.consumed_before_check += 1;
+            if self.always_faulty {
+                return Some((verify_done, self.penalty_cpu));
+            }
+        }
+        None
+    }
+
+    /// RoW reads observed.
+    pub fn row_reads(&self) -> u64 {
+        self.row_reads
+    }
+
+    /// Fraction of RoW reads consumed before their check (the paper's "%
+    /// of max rollbacks" metric).
+    pub fn consumed_fraction(&self) -> f64 {
+        if self.row_reads == 0 {
+            0.0
+        } else {
+            self.consumed_before_check as f64 / self.row_reads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_faulty_never_rolls_back() {
+        let mut m = RollbackModel::new(1.0, false, 128, 1);
+        for _ in 0..100 {
+            assert!(m.on_row_read(Cycle(10)).is_none());
+        }
+        assert_eq!(m.consumed_fraction(), 1.0);
+    }
+
+    #[test]
+    fn always_faulty_rolls_back_consumed_reads() {
+        let mut m = RollbackModel::new(1.0, true, 128, 1);
+        let (at, pen) = m.on_row_read(Cycle(77)).expect("must roll back");
+        assert_eq!(at, Cycle(77));
+        assert_eq!(pen, 128);
+    }
+
+    #[test]
+    fn consumed_fraction_tracks_probability() {
+        let mut m = RollbackModel::new(0.058, true, 128, 42);
+        let mut rollbacks = 0;
+        for _ in 0..20_000 {
+            if m.on_row_read(Cycle(1)).is_some() {
+                rollbacks += 1;
+            }
+        }
+        let frac = rollbacks as f64 / 20_000.0;
+        assert!((frac - 0.058).abs() < 0.01, "frac = {frac}");
+        assert!((m.consumed_fraction() - frac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_probability_is_clean() {
+        let mut m = RollbackModel::new(0.0, true, 128, 3);
+        for _ in 0..1000 {
+            assert!(m.on_row_read(Cycle(5)).is_none());
+        }
+        assert_eq!(m.consumed_fraction(), 0.0);
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let m = RollbackModel::new(7.5, true, 128, 3);
+        assert_eq!(m.consumed_p, 1.0);
+    }
+}

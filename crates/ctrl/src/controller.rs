@@ -1,0 +1,752 @@
+//! The memory-controller abstraction and the baseline (non-PCMap)
+//! controller.
+//!
+//! [`CtrlCore`] bundles the plumbing every controller variant shares —
+//! queues, drain policy, bus, rank, statistics — plus the issue helpers for
+//! coarse reads and baseline whole-rank writes. [`BaselineController`] is
+//! the paper's *Baseline* system: reads prioritized over writes with an
+//! α = 80 % drain policy, FR-FCFS ordering, and writes that keep every chip
+//! of the bank reserved for the full write latency even though only the
+//! essential-word chips do useful work.
+
+use crate::bus::{BusDir, ChannelBus};
+use crate::op;
+use crate::queues::{DrainPolicy, DrainState, RequestQueue};
+use crate::request::{Completion, MemRequest, ReqId, ReqKind};
+use crate::stats::CtrlStats;
+use crate::trace::ChipTrace;
+use pcmap_device::PcmRank;
+use pcmap_types::{
+    BankId, ChipId, ChipSet, Cycle, Duration, MemOrg, QueueParams, TimingParams,
+};
+
+/// Latency of answering a read straight from the write queue.
+const FORWARD_LATENCY: Duration = Duration(2);
+
+/// A channel memory controller.
+///
+/// One controller owns one channel: its request queues, its bus and its
+/// rank. The simulator drives it through this trait; the baseline and the
+/// PCMap controllers are interchangeable implementations.
+///
+/// Enqueue methods hand the request back in the `Err` variant when the
+/// queue is full so the caller can retry without cloning — the 136-byte
+/// payload is intentional (`clippy::result_large_err` is waived).
+#[allow(clippy::result_large_err)]
+pub trait Controller {
+    /// Offers a read request at time `now`.
+    ///
+    /// Returns `Ok(Some(completion))` if the read was forwarded from the
+    /// write queue, `Ok(None)` if it was queued.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the read queue is full.
+    fn enqueue_read(&mut self, req: MemRequest, now: Cycle) -> Result<Option<Completion>, MemRequest>;
+
+    /// Offers a write request at time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if the write queue is full.
+    fn enqueue_write(&mut self, req: MemRequest, now: Cycle) -> Result<(), MemRequest>;
+
+    /// Makes all issue decisions possible at `now`; returns completions
+    /// scheduled during this step (their `done` times are in the future).
+    fn step(&mut self, now: Cycle) -> Vec<Completion>;
+
+    /// The next time this controller could make progress, if any work is
+    /// pending.
+    fn next_wake(&self, now: Cycle) -> Option<Cycle>;
+
+    /// Queued reads.
+    fn read_q_len(&self) -> usize;
+    /// Queued writes.
+    fn write_q_len(&self) -> usize;
+    /// Write-queue capacity (for CPU-side back-pressure).
+    fn write_q_capacity(&self) -> usize;
+    /// Statistics.
+    fn stats(&self) -> &CtrlStats;
+    /// The rank behind this channel.
+    fn rank(&self) -> &PcmRank;
+    /// Mutable rank access (fault injection, inspection).
+    fn rank_mut(&mut self) -> &mut PcmRank;
+    /// The chip-occupancy trace.
+    fn trace(&self) -> &ChipTrace;
+    /// Enables or disables chip-occupancy tracing.
+    fn set_trace(&mut self, enabled: bool);
+    /// Finalizes metric windows up to `now` (pass [`Cycle::MAX`] at the end
+    /// of simulation).
+    fn settle(&mut self, now: Cycle);
+
+    /// Number of write-drain episodes started so far.
+    fn drains_started(&self) -> u64;
+}
+
+/// Shared controller state and issue helpers.
+#[derive(Debug)]
+pub struct CtrlCore {
+    /// Memory organization.
+    pub org: MemOrg,
+    /// Timing parameters.
+    pub t: TimingParams,
+    /// The channel's rank.
+    pub rank: PcmRank,
+    /// Pending reads.
+    pub read_q: RequestQueue,
+    /// Pending writes, one queue per bank (Table I / §V: "separate write
+    /// and read queues ... for banks"). Per-bank buffering is what makes
+    /// drains produce deep same-bank write bursts — the regime WoW
+    /// consolidates.
+    pub write_qs: Vec<RequestQueue>,
+    /// Write-drain state machine, per bank.
+    pub drains: Vec<DrainPolicy>,
+    /// The shared channel data bus (coarse transfers only).
+    pub bus: ChannelBus,
+    /// Statistics.
+    pub stats: CtrlStats,
+    /// Optional chip trace.
+    pub trace: ChipTrace,
+    /// Per-bank completion time of the most recent write (delay
+    /// attribution for Figure 1).
+    pub last_write_end: Vec<Cycle>,
+    /// When the controller last left drain mode.
+    pub last_drain_exit: Cycle,
+    /// Last cycle with read activity, if any: opportunistic writes wait
+    /// for a read-idle window rather than leaking out the moment the read
+    /// queue is instantaneously empty.
+    pub last_read_activity: Option<Cycle>,
+}
+
+impl CtrlCore {
+    /// Creates controller state for one channel.
+    pub fn new(org: MemOrg, t: TimingParams, q: QueueParams, seed: u64) -> Self {
+        Self {
+            org,
+            t,
+            rank: PcmRank::with_seed(org, seed),
+            read_q: RequestQueue::new(q.read_q),
+            write_qs: (0..org.banks).map(|_| RequestQueue::new(q.write_q)).collect(),
+            drains: (0..org.banks).map(|_| DrainPolicy::new(&q)).collect(),
+            bus: ChannelBus::new(),
+            stats: CtrlStats::new(org.banks as usize),
+            trace: ChipTrace::disabled(),
+            last_write_end: vec![Cycle::ZERO; org.banks as usize],
+            last_drain_exit: Cycle::ZERO,
+            last_read_activity: None,
+        }
+    }
+
+    /// Cycles of read silence required before writes issue
+    /// opportunistically (outside drains).
+    pub const READ_IDLE_WINDOW: u64 = 64;
+
+    /// `true` if the read path has been quiet long enough for
+    /// opportunistic writes.
+    pub fn read_idle(&self, now: Cycle) -> bool {
+        self.read_q.is_empty()
+            && match self.last_read_activity {
+                None => true,
+                Some(t) => now.0 >= t.0 + Self::READ_IDLE_WINDOW,
+            }
+    }
+
+    /// The chips a coarse (whole-line) read occupies in the fixed layout:
+    /// all data chips plus the ECC chip.
+    pub fn coarse_read_set() -> ChipSet {
+        let mut s = ChipSet::data_chips_fixed();
+        s.insert_chip(ChipId::ECC);
+        s
+    }
+
+    /// The chips a baseline write reserves: the whole bank across data and
+    /// ECC chips (no sub-ranking in the baseline).
+    pub fn baseline_write_set() -> ChipSet {
+        Self::coarse_read_set()
+    }
+
+    /// Common enqueue-read path with write-queue forwarding.
+    #[allow(clippy::result_large_err)] // request handed back by value on a full queue
+    pub fn enqueue_read_common(
+        &mut self,
+        req: MemRequest,
+        now: Cycle,
+    ) -> Result<Option<Completion>, MemRequest> {
+        self.last_read_activity = Some(self.last_read_activity.unwrap_or(Cycle::ZERO).max(now));
+        if self.write_qs[req.loc.bank.index()].newest_to_line(req.line).is_some() {
+            let done = now + FORWARD_LATENCY;
+            self.stats.reads_done += 1;
+            self.stats.reads_forwarded += 1;
+            self.stats.read_latency_sum += done.since(req.arrival);
+            self.stats.read_latency_hist.record(done.since(req.arrival).as_u64());
+            return Ok(Some(Completion {
+                id: req.id,
+                core: req.core,
+                is_read: true,
+                arrival: req.arrival,
+                done,
+                via_row: false,
+                verify_done: None,
+                forwarded: true,
+            }));
+        }
+        self.read_q.push(req)?;
+        Ok(None)
+    }
+
+    /// Updates one bank's drain state machine, tracking exits for delay
+    /// attribution.
+    pub fn update_drain(&mut self, bank: BankId, now: Cycle) -> DrainState {
+        let d = &mut self.drains[bank.index()];
+        let before = d.state();
+        let after = d.update(self.write_qs[bank.index()].len());
+        if before == DrainState::Draining && after == DrainState::Normal {
+            self.last_drain_exit = now;
+        }
+        after
+    }
+
+    /// Total queued writes across banks.
+    pub fn write_q_len_total(&self) -> usize {
+        self.write_qs.iter().map(|q| q.len()).sum()
+    }
+
+    /// Enqueues a write into its bank's queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request back if that bank's queue is full.
+    #[allow(clippy::result_large_err)] // request handed back by value on a full queue
+    pub fn enqueue_write_common(&mut self, req: MemRequest) -> Result<(), MemRequest> {
+        self.write_qs[req.loc.bank.index()].push(req)
+    }
+
+    /// Total drain episodes started across banks.
+    pub fn drains_started_total(&self) -> u64 {
+        self.drains.iter().map(|d| d.drains_started()).sum()
+    }
+
+    /// `true` while any bank is draining writes — the channel bus is
+    /// turned to the write direction (§II-B), so ordinary reads wait.
+    pub fn any_draining(&self) -> bool {
+        self.drains.iter().any(|d| d.state() == DrainState::Draining)
+    }
+
+    /// Whether serving a read *now* that arrived at `arrival` counts as
+    /// delayed by write activity (Figure 1's numerator): some write was
+    /// running on its bank, or a drain episode intervened, since arrival.
+    pub fn read_was_delayed(&self, bank: BankId, arrival: Cycle, now: Cycle) -> bool {
+        now > arrival
+            && (self.last_write_end[bank.index()] > arrival
+                || self.drains[bank.index()].state() == DrainState::Draining
+                || self.last_drain_exit > arrival)
+    }
+
+    /// Picks the best issueable read at `now` under FR-FCFS: row hits
+    /// first, then oldest, among reads whose chips are free. While any
+    /// bank drains, the bus is in write mode and no read issues at all.
+    pub fn pick_coarse_read(&self, now: Cycle) -> Option<ReqId> {
+        if self.any_draining() {
+            return None;
+        }
+        let set = Self::coarse_read_set();
+        let mut best: Option<(bool, u64, ReqId)> = None; // (row_hit, age_key, id)
+        for (age, req) in self.read_q.iter().enumerate() {
+            let bank = req.loc.bank;
+            if self.rank.timing().free_at(bank, set, now) > now {
+                continue;
+            }
+            let hit = self
+                .rank
+                .timing()
+                .chips_needing_activate(bank, set, req.loc.row)
+                .is_empty();
+            let key = (hit, age as u64, req.id);
+            best = match best {
+                None => Some(key),
+                Some((bhit, bage, bid)) => {
+                    if (hit && !bhit) || (hit == bhit && (age as u64) < bage) {
+                        Some(key)
+                    } else {
+                        Some((bhit, bage, bid))
+                    }
+                }
+            };
+        }
+        best.map(|(_, _, id)| id)
+    }
+
+    /// Issues a coarse read at `now`. The chips must be free (checked by
+    /// [`Self::pick_coarse_read`]).
+    pub fn issue_coarse_read(&mut self, id: ReqId, now: Cycle) -> Completion {
+        let req = self.read_q.remove(id).expect("picked read must be queued");
+        let bank = req.loc.bank;
+        let set = Self::coarse_read_set();
+        let row_hit = self
+            .rank
+            .timing()
+            .chips_needing_activate(bank, set, req.loc.row)
+            .is_empty();
+
+        let to_transfer = op::read_latency_to_transfer(row_hit, &self.t);
+        let transfer = self.bus.reserve(BusDir::Read, now + to_transfer, &self.t);
+        let data_ready = transfer + Duration(self.t.burst);
+
+        self.rank.timing_mut().reserve(bank, set, now, data_ready);
+        self.rank.timing_mut().open_row(bank, set, req.loc.row);
+
+        // Functional read + SECDED check (free on a coarse read).
+        self.rank.energy_mut().record_read(9 * 64); // 8 data words + ECC word
+        let out = self.rank.read_line(bank, req.loc.row, req.loc.col);
+        let codec = self.rank.storage().codec();
+        match codec.verify(&out.data, out.ecc) {
+            c if c.is_clean() => {}
+            pcmap_ecc::line::LineCheck::Corrected { .. } => self.stats.ecc_corrected += 1,
+            _ => self.stats.ecc_uncorrectable += 1,
+        }
+
+        if self.read_was_delayed(bank, req.arrival, now) {
+            self.stats.reads_delayed_by_write += 1;
+        }
+        self.stats.reads_done += 1;
+        self.stats.read_latency_sum += data_ready.since(req.arrival);
+        self.stats.read_latency_hist.record(data_ready.since(req.arrival).as_u64());
+
+        // IRLP: eight data-word-serving chips.
+        for chip in ChipSet::data_chips_fixed().chips() {
+            self.stats.irlp.record_segment(bank, now, data_ready);
+            if self.trace.is_enabled() {
+                self.trace.record(bank, chip, now, data_ready, &format!("Rd-{}", req.id.0));
+            }
+        }
+
+        Completion {
+            id: req.id,
+            core: req.core,
+            is_read: true,
+            arrival: req.arrival,
+            done: data_ready,
+            via_row: false,
+            verify_done: None,
+            forwarded: false,
+        }
+    }
+
+    /// Picks the oldest issueable write of `bank` at `now`, preserving
+    /// same-address write order (a newer write to a line may not jump an
+    /// older blocked one).
+    pub fn pick_baseline_write(&self, bank: BankId, now: Cycle) -> Option<ReqId> {
+        let set = Self::baseline_write_set();
+        let mut skipped: Vec<pcmap_types::LineAddr> = Vec::new();
+        for req in self.write_qs[bank.index()].iter() {
+            if skipped.contains(&req.line) {
+                continue;
+            }
+            if self.rank.timing().free_at(req.loc.bank, set, now) <= now {
+                return Some(req.id);
+            }
+            skipped.push(req.line);
+        }
+        None
+    }
+
+    /// Issues a baseline (whole-rank) write at `now`: every chip of the
+    /// bank is reserved until the slowest essential chip finishes.
+    pub fn issue_baseline_write(&mut self, id: ReqId, now: Cycle) -> Completion {
+        let bank0 = self
+            .write_qs
+            .iter()
+            .position(|q| q.iter().any(|r| r.id == id))
+            .expect("picked write must be queued");
+        let req = self.write_qs[bank0].remove(id).expect("picked write must be queued");
+        let ReqKind::Write { data } = req.kind else { panic!("write queue held a read") };
+        let bank = req.loc.bank;
+
+        let outcome = self.rank.write_words(bank, req.loc.row, req.loc.col, data, pcmap_types::WordMask::full());
+        self.stats.essential_histogram[outcome.essential.count()] += 1;
+        if outcome.silent {
+            self.stats.silent_writes += 1;
+        }
+
+        // Full-bus transfer of the line, then in-chip differential writes.
+        let transfer = self.bus.reserve(BusDir::Write, now + Duration(self.t.t_wl), &self.t);
+        let program_start = transfer + Duration(self.t.burst);
+
+        let mut done = program_start + Duration(self.t.array_read); // compare-only chips
+        for i in outcome.essential.iter() {
+            let end = program_start + outcome.kinds[i].duration(&self.t);
+            done = done.max(end);
+            // IRLP + wear for the essential chips (identity layout).
+            let chip = ChipId(i as u8);
+            self.stats.irlp.record_segment(bank, now, end);
+            self.rank.wear_mut().record(chip, outcome.bits_per_word[i]);
+            if self.trace.is_enabled() {
+                self.trace.record(bank, chip, now, end, &format!("Wr-{}", req.id.0));
+            }
+        }
+        if !outcome.silent {
+            // The ECC chip is rewritten alongside (not counted in IRLP).
+            let ecc_end = program_start + Duration(self.t.array_set);
+            done = done.max(ecc_end);
+            self.rank.wear_mut().record(ChipId::ECC, 8);
+            self.rank.energy_mut().record_write(4, 4);
+            if self.trace.is_enabled() {
+                self.trace.record(bank, ChipId::ECC, now, ecc_end, &format!("We-{}", req.id.0));
+            }
+        }
+
+        let set = Self::baseline_write_set();
+        self.rank.timing_mut().reserve(bank, set, now, done);
+
+        self.stats.irlp.open_window(bank, now, done);
+        // Re-record the write's own segments into the fresh window: the
+        // window must see them even though they were recorded above.
+        // (record_segment already clips into open windows; since the window
+        // opened after, we record the essential segments again via the
+        // tracker's active list — which `open_window` consults. Nothing to
+        // do here.)
+
+        self.stats.writes_done += 1;
+        self.stats.last_write_done = self.stats.last_write_done.max(done);
+        self.last_write_end[bank.index()] = self.last_write_end[bank.index()].max(done);
+
+        Completion {
+            id: req.id,
+            core: req.core,
+            is_read: false,
+            arrival: req.arrival,
+            done,
+            via_row: false,
+            verify_done: None,
+            forwarded: false,
+        }
+    }
+
+    /// Conservative wake estimate shared by controller variants: the
+    /// earliest time any pending request's chips could free up, or the bus.
+    pub fn next_wake_common(&self, now: Cycle) -> Option<Cycle> {
+        if self.read_q.is_empty() && self.write_q_len_total() == 0 {
+            return None;
+        }
+        let mut wake = Cycle::MAX;
+        let coarse = Self::coarse_read_set();
+        for req in self.read_q.iter().chain(self.write_qs.iter().flat_map(|q| q.iter())) {
+            let t = self.rank.timing().free_at(req.loc.bank, coarse, now);
+            wake = Cycle(wake.0.min(t.0));
+        }
+        if self.bus.free_at() > now {
+            wake = Cycle(wake.0.min(self.bus.free_at().0));
+        }
+        Some(if wake <= now { Cycle(now.0 + 1) } else { wake })
+    }
+}
+
+/// The paper's baseline PCM memory controller.
+#[derive(Debug)]
+pub struct BaselineController {
+    core: CtrlCore,
+}
+
+impl BaselineController {
+    /// Creates a baseline controller for one channel.
+    pub fn new(org: MemOrg, t: TimingParams, q: QueueParams, seed: u64) -> Self {
+        Self { core: CtrlCore::new(org, t, q, seed) }
+    }
+}
+
+impl Controller for BaselineController {
+    fn enqueue_read(&mut self, req: MemRequest, now: Cycle) -> Result<Option<Completion>, MemRequest> {
+        self.core.enqueue_read_common(req, now)
+    }
+
+    fn enqueue_write(&mut self, req: MemRequest, _now: Cycle) -> Result<(), MemRequest> {
+        self.core.enqueue_write_common(req)
+    }
+
+    fn step(&mut self, now: Cycle) -> Vec<Completion> {
+        let mut out = Vec::new();
+        let banks = self.core.org.banks;
+        loop {
+            let mut issued = false;
+            // Refresh per-bank drain states before scheduling.
+            for b in 0..banks {
+                self.core.update_drain(BankId(b), now);
+            }
+            // Reads first (their banks must not be draining).
+            if let Some(id) = self.core.pick_coarse_read(now) {
+                out.push(self.core.issue_coarse_read(id, now));
+                issued = true;
+            }
+            // Writes: while the bus is turned around (any drain active)
+            // every bank may drain, and opportunistically after a
+            // read-idle window.
+            let bus_write_mode = self.core.any_draining() || self.core.read_idle(now);
+            for b in 0..banks {
+                let bank = BankId(b);
+                if bus_write_mode {
+                    if let Some(id) = self.core.pick_baseline_write(bank, now) {
+                        out.push(self.core.issue_baseline_write(id, now));
+                        issued = true;
+                    }
+                }
+            }
+            if !issued {
+                break;
+            }
+        }
+        self.core.stats.irlp.settle(now);
+        self.core.rank.timing_mut().prune(now);
+        out
+    }
+
+    fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        self.core.next_wake_common(now)
+    }
+
+    fn read_q_len(&self) -> usize {
+        self.core.read_q.len()
+    }
+
+    fn write_q_len(&self) -> usize {
+        self.core.write_q_len_total()
+    }
+
+    fn write_q_capacity(&self) -> usize {
+        self.core.write_qs[0].capacity()
+    }
+
+    fn stats(&self) -> &CtrlStats {
+        &self.core.stats
+    }
+
+    fn rank(&self) -> &PcmRank {
+        &self.core.rank
+    }
+
+    fn rank_mut(&mut self) -> &mut PcmRank {
+        &mut self.core.rank
+    }
+
+    fn trace(&self) -> &ChipTrace {
+        &self.core.trace
+    }
+
+    fn set_trace(&mut self, enabled: bool) {
+        self.core.trace = if enabled { ChipTrace::enabled() } else { ChipTrace::disabled() };
+    }
+
+    fn settle(&mut self, now: Cycle) {
+        self.core.stats.irlp.settle(now);
+    }
+
+    fn drains_started(&self) -> u64 {
+        self.core.drains_started_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmap_types::{CacheLine, CoreId, PhysAddr};
+
+    fn ctrl() -> BaselineController {
+        BaselineController::new(
+            MemOrg::tiny(),
+            TimingParams::paper_default(),
+            QueueParams::paper_default(),
+            7,
+        )
+    }
+
+    fn read_req(id: u64, addr: u64, now: Cycle) -> MemRequest {
+        let org = MemOrg::tiny();
+        let a = PhysAddr::new(addr);
+        MemRequest {
+            id: ReqId(id),
+            kind: ReqKind::Read,
+            line: a.line(),
+            loc: org.decode(a),
+            core: CoreId(0),
+            arrival: now,
+        }
+    }
+
+    fn write_req(c: &BaselineController, id: u64, addr: u64, words: &[usize], now: Cycle) -> MemRequest {
+        let org = MemOrg::tiny();
+        let a = PhysAddr::new(addr);
+        let loc = org.decode(a);
+        let old = c.rank().read_line(loc.bank, loc.row, loc.col).data;
+        let mut data = old;
+        for &w in words {
+            data.set_word(w, !old.word(w));
+        }
+        MemRequest {
+            id: ReqId(id),
+            kind: ReqKind::Write { data },
+            line: a.line(),
+            loc,
+            core: CoreId(0),
+            arrival: now,
+        }
+    }
+
+    #[test]
+    fn lone_read_completes_with_miss_latency() {
+        let mut c = ctrl();
+        c.enqueue_read(read_req(1, 0, Cycle(0)), Cycle(0)).unwrap();
+        let done = c.step(Cycle(0));
+        assert_eq!(done.len(), 1);
+        let t = TimingParams::paper_default();
+        // miss: array_read + t_cl, then burst on the bus.
+        assert_eq!(done[0].done, Cycle(t.array_read + t.t_cl + t.burst));
+        assert!(done[0].is_read);
+    }
+
+    #[test]
+    fn second_read_to_same_row_hits() {
+        let mut c = ctrl();
+        c.enqueue_read(read_req(1, 0, Cycle(0)), Cycle(0)).unwrap();
+        let first = c.step(Cycle(0))[0].done;
+        // Same row, next line over (tiny org: same bank/row for addr 0 and 512).
+        let req = read_req(2, 0, Cycle(first.0));
+        c.enqueue_read(req, first).unwrap();
+        let second = c.step(first);
+        let t = TimingParams::paper_default();
+        assert_eq!(second[0].done.since(first), Duration(t.t_cl + t.burst));
+    }
+
+    #[test]
+    fn read_blocked_by_ongoing_write_is_counted_delayed() {
+        let mut c = ctrl();
+        let w = write_req(&c, 1, 0, &[3], Cycle(0));
+        c.enqueue_write(w, Cycle(0)).unwrap();
+        // No reads pending → opportunistic write issues at 0.
+        let wd = c.step(Cycle(0));
+        assert_eq!(wd.len(), 1);
+        assert!(!wd[0].is_read);
+        let write_done = wd[0].done;
+        // A read to the same bank arrives mid-write.
+        c.enqueue_read(read_req(2, 64, Cycle(5)), Cycle(5)).unwrap();
+        assert!(c.step(Cycle(5)).is_empty(), "bank busy: read must wait");
+        let wake = c.next_wake(Cycle(5)).unwrap();
+        assert!(wake <= write_done);
+        let done = c.step(write_done);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].done > write_done);
+        assert_eq!(c.stats().reads_delayed_by_write, 1);
+        assert_eq!(c.stats().delayed_read_fraction(), 1.0);
+    }
+
+    #[test]
+    fn write_essential_histogram_records_diff() {
+        let mut c = ctrl();
+        let w = write_req(&c, 1, 0, &[1, 4, 6], Cycle(0));
+        c.enqueue_write(w, Cycle(0)).unwrap();
+        c.step(Cycle(0));
+        assert_eq!(c.stats().essential_histogram[3], 1);
+        assert_eq!(c.stats().silent_writes, 0);
+    }
+
+    #[test]
+    fn silent_write_detected() {
+        let mut c = ctrl();
+        let org = MemOrg::tiny();
+        let a = PhysAddr::new(0);
+        let loc = org.decode(a);
+        let old = c.rank().read_line(loc.bank, loc.row, loc.col).data;
+        let req = MemRequest {
+            id: ReqId(1),
+            kind: ReqKind::Write { data: old },
+            line: a.line(),
+            loc,
+            core: CoreId(0),
+            arrival: Cycle(0),
+        };
+        c.enqueue_write(req, Cycle(0)).unwrap();
+        c.step(Cycle(0));
+        assert_eq!(c.stats().silent_writes, 1);
+        assert_eq!(c.stats().essential_histogram[0], 1);
+    }
+
+    #[test]
+    fn forwarding_from_write_queue() {
+        let mut c = ctrl();
+        let w = write_req(&c, 1, 0, &[2], Cycle(0));
+        c.enqueue_write(w, Cycle(0)).unwrap();
+        // Read to the same line forwards instantly (no step needed).
+        let fwd = c.enqueue_read(read_req(2, 0, Cycle(1)), Cycle(1)).unwrap();
+        let comp = fwd.expect("must forward");
+        assert!(comp.forwarded);
+        assert_eq!(comp.done, Cycle(1) + FORWARD_LATENCY);
+        assert_eq!(c.stats().reads_forwarded, 1);
+        assert_eq!(c.read_q_len(), 0);
+    }
+
+    #[test]
+    fn drain_starts_at_high_watermark_and_blocks_reads() {
+        let mut c = ctrl();
+        // Fill write queue past high watermark (26 of 32).
+        for i in 0..26 {
+            let w = write_req(&c, i, i * 4096, &[0], Cycle(0));
+            c.enqueue_write(w, Cycle(0)).unwrap();
+        }
+        c.enqueue_read(read_req(100, 64, Cycle(0)), Cycle(0)).unwrap();
+        let comps = c.step(Cycle(0));
+        // During drain, writes issue (to both banks) but the read must not.
+        assert!(comps.iter().all(|x| !x.is_read), "reads blocked during drain");
+        assert!(!comps.is_empty());
+    }
+
+    #[test]
+    fn irlp_of_baseline_single_word_write_is_one() {
+        let mut c = ctrl();
+        let w = write_req(&c, 1, 0, &[3], Cycle(0));
+        c.enqueue_write(w, Cycle(0)).unwrap();
+        c.step(Cycle(0));
+        c.settle(Cycle::MAX);
+        let samples = c.stats().irlp.samples();
+        assert_eq!(samples.len(), 1);
+        // One essential chip busy ~86% of the window (transfer preamble).
+        assert!(samples[0] > 0.5 && samples[0] <= 1.0, "irlp = {}", samples[0]);
+    }
+
+    #[test]
+    fn read_queue_full_returns_request() {
+        let mut c = ctrl();
+        // Occupy the bank so reads stay queued.
+        let w = write_req(&c, 900, 0, &[0], Cycle(0));
+        c.enqueue_write(w, Cycle(0)).unwrap();
+        c.step(Cycle(0));
+        let mut rejected = 0;
+        for i in 0..20 {
+            let r = read_req(i, 64 + i * 4096, Cycle(1));
+            if c.enqueue_read(r, Cycle(1)).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected > 0);
+        assert_eq!(c.read_q_len(), QueueParams::paper_default().read_q);
+    }
+
+    #[test]
+    fn functional_write_really_lands_in_storage() {
+        let mut c = ctrl();
+        let org = MemOrg::tiny();
+        let a = PhysAddr::new(0);
+        let loc = org.decode(a);
+        let mut data = c.rank().read_line(loc.bank, loc.row, loc.col).data;
+        data.set_word(0, 0x1234);
+        let req = MemRequest {
+            id: ReqId(1),
+            kind: ReqKind::Write { data },
+            line: a.line(),
+            loc,
+            core: CoreId(0),
+            arrival: Cycle(0),
+        };
+        c.enqueue_write(req, Cycle(0)).unwrap();
+        c.step(Cycle(0));
+        assert_eq!(c.rank().read_line(loc.bank, loc.row, loc.col).data, data);
+        let _ = CacheLine::zeroed();
+    }
+}

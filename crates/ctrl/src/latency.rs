@@ -1,0 +1,197 @@
+//! Bounded-memory latency distribution tracking.
+//!
+//! Effective read latency is the paper's Figure 10 metric; means hide the
+//! tail that drains create, so the controller also keeps a log-scaled
+//! histogram cheap enough to run on every request (64 buckets, ~¼-decade
+//! resolution), from which percentiles are interpolated.
+
+/// A log₂-bucketed latency histogram with 4 sub-buckets per octave.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    max_seen: u64,
+}
+
+const SUB: u64 = 4;
+const BUCKETS: usize = 64;
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self { counts: vec![0; BUCKETS], total: 0, max_seen: 0 }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        if value < SUB {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros() as u64;
+        let sub = (value >> (octave - 2)) & (SUB - 1);
+        (((octave - 1) * SUB) + sub) as usize
+
+    }
+
+    /// Lower bound of `bucket`'s value range.
+    fn bucket_floor(bucket: usize) -> u64 {
+        let b = bucket as u64;
+        if b < SUB {
+            return b;
+        }
+        let octave = b / SUB + 1;
+        let sub = b % SUB;
+        (1u64 << octave) + (sub << (octave - 2))
+    }
+
+    /// Records one latency sample (in cycles).
+    pub fn record(&mut self, value: u64) {
+        let idx = Self::bucket_of(value).min(BUCKETS - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// The approximate `p`-th percentile (0 < p ≤ 100); 0 when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        assert!(p > 0.0 && p <= 100.0, "percentile out of range");
+        if self.total == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_floor(i).min(self.max_seen);
+            }
+        }
+        self.max_seen
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn single_value_dominates_every_percentile() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(37);
+        }
+        for p in [1.0, 50.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            assert!((32..=37).contains(&v), "p{p} = {v}");
+        }
+        assert_eq!(h.max(), 37);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 20, 30, 100, 500, 1000, 5000] {
+            for _ in 0..10 {
+                h.record(v);
+            }
+        }
+        let p50 = h.percentile(50.0);
+        let p95 = h.percentile(95.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(p99 <= h.max());
+    }
+
+    #[test]
+    fn tail_is_visible() {
+        // 99 fast samples and one very slow one: p50 small, p100 ~ max.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(30);
+        }
+        h.record(10_000);
+        assert!(h.percentile(50.0) <= 30);
+        assert!(h.percentile(100.0) >= 8_192);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.percentile(100.0) >= 768);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn rejects_bad_percentile() {
+        LatencyHistogram::new().percentile(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bucket_floor_is_sound(v in 0u64..1_000_000) {
+            // Every value lands in a bucket whose floor does not exceed it
+            // and whose next bucket's floor exceeds it (within range).
+            let b = LatencyHistogram::bucket_of(v).min(BUCKETS - 1);
+            prop_assert!(LatencyHistogram::bucket_floor(b) <= v);
+            if b + 1 < BUCKETS {
+                prop_assert!(LatencyHistogram::bucket_floor(b + 1) > v,
+                    "v={v} b={b} next_floor={}", LatencyHistogram::bucket_floor(b + 1));
+            }
+        }
+
+        #[test]
+        fn prop_percentile_within_range(mut vs in proptest::collection::vec(1u64..100_000, 1..200)) {
+            let mut h = LatencyHistogram::new();
+            for &v in &vs {
+                h.record(v);
+            }
+            vs.sort_unstable();
+            let p50 = h.percentile(50.0);
+            // Within a factor of the bucket resolution of the true median.
+            let true_median = vs[(vs.len() - 1) / 2];
+            prop_assert!(p50 <= true_median.max(1) * 2 && p50 * 2 >= true_median / 2,
+                "p50={p50} true={true_median}");
+        }
+    }
+}

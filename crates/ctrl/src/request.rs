@@ -1,0 +1,102 @@
+//! Memory requests as seen by a channel's memory controller.
+
+use pcmap_types::{CacheLine, Cycle, CoreId, LineAddr, MemLocation};
+
+/// A unique, monotonically increasing request identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ReqId(pub u64);
+
+impl core::fmt::Display for ReqId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "req{}", self.0)
+    }
+}
+
+/// What a request does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Fetch a 64-byte line.
+    Read,
+    /// Write back a 64-byte line (the new contents travel with the request;
+    /// the rank's differential write determines the essential words).
+    Write {
+        /// The new line contents.
+        data: CacheLine,
+    },
+}
+
+impl ReqKind {
+    /// `true` for reads.
+    #[inline]
+    pub fn is_read(&self) -> bool {
+        matches!(self, ReqKind::Read)
+    }
+}
+
+/// A request queued at a memory controller.
+#[derive(Debug, Clone, Copy)]
+pub struct MemRequest {
+    /// Unique id.
+    pub id: ReqId,
+    /// Read or write (+payload).
+    pub kind: ReqKind,
+    /// The line address (used by the rotation layouts).
+    pub line: LineAddr,
+    /// Decoded hardware coordinates.
+    pub loc: MemLocation,
+    /// Issuing core.
+    pub core: CoreId,
+    /// When the request reached the controller.
+    pub arrival: Cycle,
+}
+
+/// A finished request, reported back to the CPU side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The request this completes.
+    pub id: ReqId,
+    /// Issuing core.
+    pub core: CoreId,
+    /// `true` if this was a read.
+    pub is_read: bool,
+    /// When the request arrived at the controller.
+    pub arrival: Cycle,
+    /// When the data is available (reads) or the write is fully committed.
+    pub done: Cycle,
+    /// `true` if the read was served by RoW reconstruction (its SECDED
+    /// check is deferred to `verify_done`).
+    pub via_row: bool,
+    /// For RoW reads: when the deferred verification completes.
+    pub verify_done: Option<Cycle>,
+    /// `true` if the read was forwarded from the write queue without
+    /// touching PCM.
+    pub forwarded: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmap_types::{MemOrg, PhysAddr};
+
+    #[test]
+    fn req_kind_predicates() {
+        assert!(ReqKind::Read.is_read());
+        assert!(!ReqKind::Write { data: CacheLine::zeroed() }.is_read());
+    }
+
+    #[test]
+    fn request_construction() {
+        let org = MemOrg::tiny();
+        let addr = PhysAddr::new(0x100);
+        let req = MemRequest {
+            id: ReqId(1),
+            kind: ReqKind::Read,
+            line: addr.line(),
+            loc: org.decode(addr),
+            core: CoreId(0),
+            arrival: Cycle(5),
+        };
+        assert_eq!(req.line, addr.line());
+        assert_eq!(ReqId(1).to_string(), "req1");
+    }
+}

@@ -1,0 +1,159 @@
+//! Controller-side statistics: latency, throughput, delay attribution.
+
+use crate::irlp::IrlpTracker;
+use crate::latency::LatencyHistogram;
+use pcmap_types::{Cycle, Duration};
+
+/// Counters collected by a memory controller.
+#[derive(Debug, Clone)]
+pub struct CtrlStats {
+    /// Reads completed (including forwarded ones).
+    pub reads_done: u64,
+    /// Reads answered from the write queue without touching PCM.
+    pub reads_forwarded: u64,
+    /// Reads served by RoW parity reconstruction.
+    pub reads_via_row: u64,
+    /// Writes fully committed.
+    pub writes_done: u64,
+    /// Writes that were entirely silent (no essential words).
+    pub silent_writes: u64,
+    /// Writes that overlapped at least one other write (WoW).
+    pub wow_overlaps: u64,
+    /// Sum of read service times (arrival → data ready), for mean latency.
+    pub read_latency_sum: Duration,
+    /// Reads whose service was delayed by an in-flight write on their bank
+    /// or by a drain episode (Figure 1's numerator).
+    pub reads_delayed_by_write: u64,
+    /// Deferred RoW verifications performed.
+    pub row_verifies: u64,
+    /// Overlapped-read attempts blocked because two or more of the line's
+    /// word chips were busy (not reconstructible).
+    pub row_blocked_multi_busy: u64,
+    /// Overlapped-read attempts blocked because the line's PCC chip was
+    /// busy when reconstruction was needed.
+    pub row_blocked_pcc_busy: u64,
+    /// Write-issue attempts blocked on busy essential data chips.
+    pub wr_blocked_data: u64,
+    /// Write-issue attempts blocked on the line's ECC chip.
+    pub wr_blocked_ecc: u64,
+    /// Write-issue attempts blocked on the line's PCC chip.
+    pub wr_blocked_pcc: u64,
+    /// Reads served with deferred verification only (no reconstruction).
+    pub reads_deferred_only: u64,
+    /// Reads whose SECDED check corrected a single-bit error.
+    pub ecc_corrected: u64,
+    /// Reads whose SECDED check found an uncorrectable error.
+    pub ecc_uncorrectable: u64,
+    /// Essential-word histogram over issued writes (index = word count).
+    pub essential_histogram: [u64; 9],
+    /// IRLP accounting.
+    pub irlp: IrlpTracker,
+    /// Distribution of effective read latencies.
+    pub read_latency_hist: LatencyHistogram,
+    /// Completion time of the last write (for throughput windows).
+    pub last_write_done: Cycle,
+}
+
+impl CtrlStats {
+    /// Creates zeroed statistics for a rank with `banks` banks.
+    pub fn new(banks: usize) -> Self {
+        Self {
+            reads_done: 0,
+            reads_forwarded: 0,
+            reads_via_row: 0,
+            writes_done: 0,
+            silent_writes: 0,
+            wow_overlaps: 0,
+            read_latency_sum: Duration::ZERO,
+            reads_delayed_by_write: 0,
+            row_verifies: 0,
+            row_blocked_multi_busy: 0,
+            wr_blocked_data: 0,
+            wr_blocked_ecc: 0,
+            wr_blocked_pcc: 0,
+            reads_deferred_only: 0,
+            row_blocked_pcc_busy: 0,
+            ecc_corrected: 0,
+            ecc_uncorrectable: 0,
+            essential_histogram: [0; 9],
+            irlp: IrlpTracker::new(banks),
+            read_latency_hist: LatencyHistogram::new(),
+            last_write_done: Cycle::ZERO,
+        }
+    }
+
+    /// Mean effective read latency in cycles (0 if no reads finished).
+    pub fn mean_read_latency(&self) -> f64 {
+        if self.reads_done == 0 {
+            0.0
+        } else {
+            self.read_latency_sum.as_u64() as f64 / self.reads_done as f64
+        }
+    }
+
+    /// Fraction of completed reads that were delayed by writes.
+    pub fn delayed_read_fraction(&self) -> f64 {
+        if self.reads_done == 0 {
+            0.0
+        } else {
+            self.reads_delayed_by_write as f64 / self.reads_done as f64
+        }
+    }
+
+    /// Write throughput in writes per kilo-cycle over `elapsed`.
+    pub fn write_throughput(&self, elapsed: Duration) -> f64 {
+        if elapsed.as_u64() == 0 {
+            0.0
+        } else {
+            self.writes_done as f64 * 1000.0 / elapsed.as_u64() as f64
+        }
+    }
+
+    /// Mean essential words per non-forwarded write.
+    pub fn mean_essential_words(&self) -> f64 {
+        let total: u64 = self.essential_histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let weighted: u64 =
+            self.essential_histogram.iter().enumerate().map(|(i, &n)| i as u64 * n).sum();
+        weighted as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_stats_have_safe_means() {
+        let s = CtrlStats::new(8);
+        assert_eq!(s.mean_read_latency(), 0.0);
+        assert_eq!(s.delayed_read_fraction(), 0.0);
+        assert_eq!(s.write_throughput(Duration::ZERO), 0.0);
+        assert_eq!(s.mean_essential_words(), 0.0);
+    }
+
+    #[test]
+    fn mean_read_latency_divides() {
+        let mut s = CtrlStats::new(8);
+        s.reads_done = 4;
+        s.read_latency_sum = Duration(200);
+        assert_eq!(s.mean_read_latency(), 50.0);
+    }
+
+    #[test]
+    fn essential_mean_is_weighted() {
+        let mut s = CtrlStats::new(8);
+        s.essential_histogram[1] = 2;
+        s.essential_histogram[4] = 2;
+        assert_eq!(s.mean_essential_words(), 2.5);
+    }
+
+    #[test]
+    fn throughput_per_kilocycle() {
+        let mut s = CtrlStats::new(8);
+        s.writes_done = 10;
+        assert_eq!(s.write_throughput(Duration(1000)), 10.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Optional chip-occupancy tracing for timeline (Gantt) rendering.
+//!
+//! Used to regenerate Figure 5 of the paper: a chip × time diagram of which
+//! chip serves which request when. Tracing is off by default; enable it for
+//! short demonstration runs only (it records every chip reservation).
+
+use pcmap_types::{BankId, ChipId, Cycle};
+
+/// One chip reservation, labeled for display.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Bank the operation targeted.
+    pub bank: BankId,
+    /// Chip occupied.
+    pub chip: ChipId,
+    /// Occupation interval start.
+    pub start: Cycle,
+    /// Occupation interval end.
+    pub end: Cycle,
+    /// Display label, e.g. `"Wr-A"`, `"Rd-B"`, `"Upd-PCC-A"`.
+    pub label: String,
+}
+
+/// Recorder for chip reservations.
+#[derive(Debug, Clone, Default)]
+pub struct ChipTrace {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl ChipTrace {
+    /// Creates a disabled trace (recording is a no-op).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Creates an enabled trace.
+    pub fn enabled() -> Self {
+        Self { enabled: true, events: Vec::new() }
+    }
+
+    /// Returns `true` if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a reservation if enabled.
+    pub fn record(&mut self, bank: BankId, chip: ChipId, start: Cycle, end: Cycle, label: &str) {
+        if self.enabled {
+            self.events.push(TraceEvent { bank, chip, start, end, label: label.to_owned() });
+        }
+    }
+
+    /// All recorded events in record order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Renders an ASCII Gantt chart for `bank`, one row per chip, using
+    /// `cycles_per_cell` cycles per character cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles_per_cell` is zero.
+    pub fn render_gantt(&self, bank: BankId, cycles_per_cell: u64) -> String {
+        assert!(cycles_per_cell > 0, "cycles_per_cell must be positive");
+        let evs: Vec<&TraceEvent> = self.events.iter().filter(|e| e.bank == bank).collect();
+        let horizon = evs.iter().map(|e| e.end.0).max().unwrap_or(0);
+        let width = (horizon.div_ceil(cycles_per_cell)) as usize;
+        let mut out = String::new();
+        for chip in 0..ChipId::TOTAL_CHIPS {
+            let name = match chip {
+                8 => "ECC ".to_owned(),
+                9 => "PCC ".to_owned(),
+                n => format!("ch{n}  "),
+            };
+            let mut row = vec!['.'; width];
+            for e in evs.iter().filter(|e| e.chip.index() == chip) {
+                let from = (e.start.0 / cycles_per_cell) as usize;
+                let to = ((e.end.0.div_ceil(cycles_per_cell)) as usize).min(width);
+                let glyph = e.label.chars().last().unwrap_or('#');
+                for cell in row.iter_mut().take(to).skip(from) {
+                    *cell = glyph;
+                }
+            }
+            out.push_str(&name);
+            out.push('|');
+            out.extend(row);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = ChipTrace::disabled();
+        t.record(BankId(0), ChipId(0), Cycle(0), Cycle(10), "Wr-A");
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_trace_records() {
+        let mut t = ChipTrace::enabled();
+        t.record(BankId(0), ChipId(3), Cycle(0), Cycle(10), "Wr-A");
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].chip, ChipId(3));
+    }
+
+    #[test]
+    fn gantt_renders_rows_for_all_ten_chips() {
+        let mut t = ChipTrace::enabled();
+        t.record(BankId(0), ChipId(3), Cycle(0), Cycle(8), "Wr-A");
+        t.record(BankId(0), ChipId(8), Cycle(0), Cycle(8), "Upd-E");
+        let g = t.render_gantt(BankId(0), 4);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines[3].contains("AA"));
+        assert!(lines[8].starts_with("ECC"));
+        assert!(lines[8].contains("EE"));
+        // Other bank filtered out.
+        let empty = t.render_gantt(BankId(1), 4);
+        assert!(!empty.contains('A'));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests over the controller substrate: bus slot allocation and
+//! drain hysteresis.
+
+use pcmap_ctrl::{BusDir, ChannelBus, DrainPolicy, DrainState};
+use pcmap_types::{Cycle, QueueParams, TimingParams};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bus_slots_never_overlap(dirs in proptest::collection::vec(any::<bool>(), 1..40)) {
+        let p = TimingParams::paper_default();
+        let mut bus = ChannelBus::new();
+        let mut last_end = 0u64;
+        for d in dirs {
+            let dir = if d { BusDir::Read } else { BusDir::Write };
+            let start = bus.reserve(dir, Cycle(0), &p);
+            prop_assert!(start.0 >= last_end, "burst overlaps previous transfer");
+            last_end = start.0 + p.burst;
+        }
+    }
+
+    #[test]
+    fn bus_earliest_is_honored(earliests in proptest::collection::vec(0u64..10_000, 1..30)) {
+        let p = TimingParams::paper_default();
+        let mut bus = ChannelBus::new();
+        for e in earliests {
+            let start = bus.reserve(BusDir::Read, Cycle(e), &p);
+            prop_assert!(start.0 >= e);
+        }
+    }
+
+    #[test]
+    fn bus_turnaround_charged_exactly_on_direction_change(
+        dirs in proptest::collection::vec(any::<bool>(), 2..30)
+    ) {
+        let p = TimingParams::paper_default();
+        let mut bus = ChannelBus::new();
+        let mut prev_dir: Option<BusDir> = None;
+        let mut prev_end = 0u64;
+        for d in dirs {
+            let dir = if d { BusDir::Read } else { BusDir::Write };
+            let start = bus.reserve(dir, Cycle(0), &p);
+            if let Some(pd) = prev_dir {
+                let gap = start.0 - prev_end;
+                if pd == dir {
+                    prop_assert_eq!(gap, 0, "same direction packs back-to-back");
+                } else if pd == BusDir::Write {
+                    prop_assert_eq!(gap, p.t_wtr, "write-to-read pays tWTR");
+                } else {
+                    prop_assert_eq!(gap, p.t_ccd, "read-to-write pays tCCD");
+                }
+            }
+            prev_dir = Some(dir);
+            prev_end = start.0 + p.burst;
+        }
+    }
+
+    #[test]
+    fn drain_policy_never_oscillates_within_band(
+        lens in proptest::collection::vec(0usize..33, 1..100)
+    ) {
+        // Within (low, high) the state must never change — pure hysteresis.
+        let q = QueueParams::paper_default();
+        let mut d = DrainPolicy::new(&q);
+        let mut prev = d.state();
+        for len in lens {
+            let next = d.update(len);
+            if len > q.low_entries() && len < q.high_entries() {
+                prop_assert_eq!(next, prev, "state changed inside the hysteresis band");
+            }
+            if len >= q.high_entries() {
+                prop_assert_eq!(next, DrainState::Draining);
+            }
+            if len <= q.low_entries() {
+                prop_assert_eq!(next, DrainState::Normal);
+            }
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn drain_episode_count_is_monotone(lens in proptest::collection::vec(0usize..33, 1..100)) {
+        let q = QueueParams::paper_default();
+        let mut d = DrainPolicy::new(&q);
+        let mut prev_count = 0;
+        for len in lens {
+            d.update(len);
+            prop_assert!(d.drains_started() >= prev_count);
+            prop_assert!(d.drains_started() <= prev_count + 1);
+            prev_count = d.drains_started();
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! The DIMM register: per-bank chip status flags and command demux.
+//!
+//! §IV-D1 of the paper: each rank carries an on-DIMM register with (1) a
+//! demultiplexer that routes commands to individual chips (sub-ranks), and
+//! (2) one status register per bank with one busy bit per chip, set by the
+//! chip itself when its differential write finds work to do and cleared
+//! when the write completes. The controller reads a bank's flags with a
+//! `Status` command costing 2 memory cycles.
+
+use crate::timing::RankTiming;
+use pcmap_types::{BankId, ChipSet, Cycle, Duration, TimingParams};
+
+/// The per-rank DIMM register.
+///
+/// The busy flags are *derived* from the rank's timing state — the chips
+/// "own" their completion times — but the register also counts how often the
+/// controller polls, so the status-command overhead can be charged and
+/// ablated.
+#[derive(Debug, Clone, Default)]
+pub struct DimmRegister {
+    polls: u64,
+}
+
+impl DimmRegister {
+    /// Creates a register with zeroed poll counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Executes a `Status` command for `bank`: returns the busy flags and
+    /// the time at which the controller has them in hand.
+    pub fn poll(
+        &mut self,
+        timing: &RankTiming,
+        bank: BankId,
+        now: Cycle,
+        params: &TimingParams,
+    ) -> (ChipSet, Cycle) {
+        self.polls += 1;
+        (timing.busy_set(bank, now), now + Duration(params.status_cmd))
+    }
+
+    /// Total number of `Status` commands issued through this register.
+    pub fn poll_count(&self) -> u64 {
+        self.polls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmap_types::{ChipId, MemOrg};
+
+    #[test]
+    fn poll_reports_busy_flags_and_costs_two_cycles() {
+        let org = MemOrg::tiny();
+        let mut timing = RankTiming::new(&org);
+        let mut reg = DimmRegister::new();
+        let params = TimingParams::paper_default();
+
+        timing.reserve(BankId(0), ChipSet::single(4), Cycle(0), Cycle(48));
+        let (flags, ready) = reg.poll(&timing, BankId(0), Cycle(10), &params);
+        assert!(flags.contains_chip(ChipId(4)));
+        assert_eq!(flags.count(), 1);
+        assert_eq!(ready, Cycle(12));
+        assert_eq!(reg.poll_count(), 1);
+    }
+
+    #[test]
+    fn poll_of_idle_bank_is_empty() {
+        let org = MemOrg::tiny();
+        let timing = RankTiming::new(&org);
+        let mut reg = DimmRegister::new();
+        let params = TimingParams::paper_default();
+        let (flags, _) = reg.poll(&timing, BankId(1), Cycle(0), &params);
+        assert!(flags.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! PCM energy accounting.
+//!
+//! The paper's motivation (§I, §III-A) leans on PCM's write energy: a PCM
+//! chip would need ~5× DRAM's power to match its write bandwidth. This
+//! meter attributes energy at the granularity the architecture actually
+//! controls — bits sensed on reads and bits programmed (SET vs RESET) on
+//! differential writes — plus background power over elapsed time.
+//!
+//! Per-bit energies follow Lee et al., "Architecting Phase Change Memory
+//! as a Scalable DRAM Alternative" (ISCA 2009), the paper's reference [2]:
+//! array read ≈ 2.47 pJ/bit; RESET ≈ 19.2 pJ/bit; SET ≈ 13.5 pJ/bit.
+
+/// Per-operation energy coefficients in picojoules per bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Sensing a bit during an array read.
+    pub read_pj_per_bit: f64,
+    /// Programming a bit with a SET pulse (slow crystallization).
+    pub set_pj_per_bit: f64,
+    /// Programming a bit with a RESET pulse (fast melt-quench).
+    pub reset_pj_per_bit: f64,
+    /// Background power for the whole rank, in milliwatts (peripheral
+    /// circuitry; PCM cells themselves need no refresh).
+    pub background_mw: f64,
+}
+
+impl EnergyParams {
+    /// Coefficients from Lee et al. (ISCA 2009), Table 3.
+    pub fn lee_isca09() -> Self {
+        Self {
+            read_pj_per_bit: 2.47,
+            set_pj_per_bit: 13.5,
+            reset_pj_per_bit: 19.2,
+            background_mw: 50.0,
+        }
+    }
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::lee_isca09()
+    }
+}
+
+/// Accumulated energy-relevant event counts for one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnergyMeter {
+    /// Bits sensed by array reads.
+    pub bits_read: u64,
+    /// Bits programmed with SET pulses.
+    pub bits_set: u64,
+    /// Bits programmed with RESET pulses.
+    pub bits_reset: u64,
+}
+
+impl EnergyMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an array read of `bits` bits.
+    pub fn record_read(&mut self, bits: u64) {
+        self.bits_read += bits;
+    }
+
+    /// Records a differential write programming `set` bits 0→1 and
+    /// `reset` bits 1→0.
+    pub fn record_write(&mut self, set: u64, reset: u64) {
+        self.bits_set += set;
+        self.bits_reset += reset;
+    }
+
+    /// Dynamic energy in nanojoules under `params`.
+    pub fn dynamic_nj(&self, params: &EnergyParams) -> f64 {
+        (self.bits_read as f64 * params.read_pj_per_bit
+            + self.bits_set as f64 * params.set_pj_per_bit
+            + self.bits_reset as f64 * params.reset_pj_per_bit)
+            / 1000.0
+    }
+
+    /// Background energy in nanojoules over `elapsed_ns` nanoseconds.
+    pub fn background_nj(params: &EnergyParams, elapsed_ns: f64) -> f64 {
+        // mW × ns = pJ.
+        params.background_mw * elapsed_ns / 1000.0
+    }
+
+    /// Total energy (dynamic + background) in nanojoules.
+    pub fn total_nj(&self, params: &EnergyParams, elapsed_ns: f64) -> f64 {
+        self.dynamic_nj(params) + Self::background_nj(params, elapsed_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_meter_is_free() {
+        let m = EnergyMeter::new();
+        assert_eq!(m.dynamic_nj(&EnergyParams::default()), 0.0);
+    }
+
+    #[test]
+    fn write_energy_dominates_reads_per_bit() {
+        let p = EnergyParams::lee_isca09();
+        let mut reads = EnergyMeter::new();
+        reads.record_read(1000);
+        let mut writes = EnergyMeter::new();
+        writes.record_write(500, 500);
+        assert!(
+            writes.dynamic_nj(&p) > 5.0 * reads.dynamic_nj(&p),
+            "PCM programming must be several times costlier than sensing"
+        );
+    }
+
+    #[test]
+    fn reset_costs_more_than_set() {
+        let p = EnergyParams::lee_isca09();
+        let mut s = EnergyMeter::new();
+        s.record_write(100, 0);
+        let mut r = EnergyMeter::new();
+        r.record_write(0, 100);
+        assert!(r.dynamic_nj(&p) > s.dynamic_nj(&p));
+    }
+
+    #[test]
+    fn accumulation_and_background() {
+        let p = EnergyParams::lee_isca09();
+        let mut m = EnergyMeter::new();
+        m.record_read(64);
+        m.record_read(64);
+        m.record_write(10, 20);
+        assert_eq!(m.bits_read, 128);
+        assert_eq!(m.bits_set, 10);
+        assert_eq!(m.bits_reset, 20);
+        let dynamic = m.dynamic_nj(&p);
+        let total = m.total_nj(&p, 1_000_000.0); // 1 ms
+        assert!(total > dynamic);
+        // 50 mW for 1 ms = 50 µJ = 50_000 nJ.
+        assert!((EnergyMeter::background_nj(&p, 1_000_000.0) - 50_000.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,259 @@
+//! Bit-level Hamming SECDED(72,64).
+//!
+//! The classic extended Hamming construction: 64 data bits are spread over
+//! codeword positions `1..=71`, skipping the seven power-of-two positions
+//! (1, 2, 4, 8, 16, 32, 64) which hold Hamming check bits; position 0 holds
+//! an overall parity bit covering the entire 72-bit word. Seven check bits
+//! give single-error *location*; the overall parity disambiguates single
+//! (correctable) from double (detectable but uncorrectable) errors.
+//!
+//! Codewords are carried in the low 72 bits of a `u128`.
+
+/// Number of bits in a codeword.
+pub const CODEWORD_BITS: u32 = 72;
+/// Number of data bits protected per codeword.
+pub const DATA_BITS: u32 = 64;
+/// Number of check bits (7 Hamming + 1 overall parity).
+pub const CHECK_BITS: u32 = 8;
+
+/// Outcome of decoding a 72-bit codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decoded {
+    /// The codeword was clean.
+    Clean {
+        /// The decoded 64-bit data word.
+        data: u64,
+    },
+    /// A single-bit error was found and corrected.
+    Corrected {
+        /// The corrected 64-bit data word.
+        data: u64,
+        /// Codeword bit position (0..72) that was flipped.
+        bit: u32,
+    },
+    /// Two bit errors were detected; the data is unrecoverable.
+    DoubleError,
+}
+
+impl Decoded {
+    /// The recovered data, unless the error was uncorrectable.
+    pub fn data(self) -> Option<u64> {
+        match self {
+            Decoded::Clean { data } | Decoded::Corrected { data, .. } => Some(data),
+            Decoded::DoubleError => None,
+        }
+    }
+}
+
+#[inline]
+fn is_power_of_two(v: u32) -> bool {
+    v != 0 && v & (v - 1) == 0
+}
+
+/// Encodes 64 data bits into a 72-bit SECDED codeword (low 72 bits of the
+/// returned value).
+pub fn encode(data: u64) -> u128 {
+    let mut cw: u128 = 0;
+    // Scatter data bits into non-power-of-two positions 3,5,6,7,9,...,71.
+    let mut d = 0u32;
+    for pos in 1..CODEWORD_BITS {
+        if !is_power_of_two(pos) {
+            if (data >> d) & 1 == 1 {
+                cw |= 1u128 << pos;
+            }
+            d += 1;
+        }
+    }
+    debug_assert_eq!(d, DATA_BITS);
+    // Hamming check bits: check bit at position 2^i covers every position
+    // whose index has bit i set.
+    for i in 0..7u32 {
+        let p = 1u32 << i;
+        let mut parity = 0u32;
+        for pos in 1..CODEWORD_BITS {
+            if pos & p != 0 && !is_power_of_two(pos) {
+                parity ^= ((cw >> pos) & 1) as u32;
+            }
+        }
+        if parity == 1 {
+            cw |= 1u128 << p;
+        }
+    }
+    // Overall parity (position 0) makes the whole 72-bit word even parity.
+    if (cw.count_ones() & 1) == 1 {
+        cw |= 1;
+    }
+    cw
+}
+
+/// Extracts the data bits of a codeword without any checking.
+pub fn extract_data(cw: u128) -> u64 {
+    let mut data = 0u64;
+    let mut d = 0u32;
+    for pos in 1..CODEWORD_BITS {
+        if !is_power_of_two(pos) {
+            if (cw >> pos) & 1 == 1 {
+                data |= 1u64 << d;
+            }
+            d += 1;
+        }
+    }
+    data
+}
+
+/// The 8 check bits of a codeword packed into a byte: overall parity in bit
+/// 0, Hamming check bit `2^i` in bit `i + 1`. This is the byte stored on the
+/// ECC chip for each data word.
+pub fn check_byte(cw: u128) -> u8 {
+    let mut b = (cw & 1) as u8;
+    for i in 0..7u32 {
+        let p = 1u32 << i;
+        if (cw >> p) & 1 == 1 {
+            b |= 1 << (i + 1);
+        }
+    }
+    b
+}
+
+/// Reassembles a codeword from a data word and a check byte produced by
+/// [`check_byte`].
+pub fn assemble(data: u64, check: u8) -> u128 {
+    let mut cw: u128 = 0;
+    let mut d = 0u32;
+    for pos in 1..CODEWORD_BITS {
+        if !is_power_of_two(pos) {
+            if (data >> d) & 1 == 1 {
+                cw |= 1u128 << pos;
+            }
+            d += 1;
+        }
+    }
+    if check & 1 != 0 {
+        cw |= 1;
+    }
+    for i in 0..7u32 {
+        if (check >> (i + 1)) & 1 == 1 {
+            cw |= 1u128 << (1u32 << i);
+        }
+    }
+    cw
+}
+
+/// Decodes a 72-bit codeword, correcting a single-bit error and detecting
+/// double-bit errors.
+pub fn decode(cw: u128) -> Decoded {
+    // Recompute the syndrome: XOR of positions with a set bit, over the
+    // Hamming-covered region (positions 1..72).
+    let mut syndrome = 0u32;
+    for pos in 1..CODEWORD_BITS {
+        if (cw >> pos) & 1 == 1 {
+            syndrome ^= pos;
+        }
+    }
+    let parity_ok = cw.count_ones() & 1 == 0;
+
+    match (syndrome, parity_ok) {
+        (0, true) => Decoded::Clean { data: extract_data(cw) },
+        (0, false) => {
+            // The overall parity bit itself flipped; data is intact.
+            Decoded::Corrected { data: extract_data(cw), bit: 0 }
+        }
+        (s, false) if s < CODEWORD_BITS => {
+            let fixed = cw ^ (1u128 << s);
+            Decoded::Corrected { data: extract_data(fixed), bit: s }
+        }
+        // Non-zero syndrome with even parity ⇒ an even number (≥2) of
+        // flipped bits; and syndromes pointing outside the word are also
+        // multi-bit corruptions.
+        _ => Decoded::DoubleError,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clean_round_trip() {
+        for data in [0u64, u64::MAX, 0xdead_beef_cafe_f00d, 1, 1 << 63] {
+            let cw = encode(data);
+            assert_eq!(decode(cw), Decoded::Clean { data });
+            assert!(cw >> CODEWORD_BITS == 0, "codeword fits in 72 bits");
+        }
+    }
+
+    #[test]
+    fn corrects_every_single_bit_position() {
+        let data = 0x0123_4567_89ab_cdef_u64;
+        let cw = encode(data);
+        for bit in 0..CODEWORD_BITS {
+            let corrupted = cw ^ (1u128 << bit);
+            match decode(corrupted) {
+                Decoded::Corrected { data: d, bit: b } => {
+                    assert_eq!(d, data, "bit {bit}");
+                    assert_eq!(b, bit);
+                }
+                other => panic!("bit {bit}: expected correction, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn detects_every_double_bit_error() {
+        let data = 0xf0f0_a5a5_3c3c_9696_u64;
+        let cw = encode(data);
+        for b1 in 0..CODEWORD_BITS {
+            for b2 in (b1 + 1)..CODEWORD_BITS {
+                let corrupted = cw ^ (1u128 << b1) ^ (1u128 << b2);
+                assert_eq!(
+                    decode(corrupted),
+                    Decoded::DoubleError,
+                    "bits {b1},{b2} must be detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn check_byte_assemble_round_trip() {
+        let data = 0x1122_3344_5566_7788_u64;
+        let cw = encode(data);
+        let byte = check_byte(cw);
+        assert_eq!(assemble(data, byte), cw);
+        assert_eq!(extract_data(cw), data);
+    }
+
+    #[test]
+    fn decoded_data_accessor() {
+        assert_eq!(Decoded::Clean { data: 5 }.data(), Some(5));
+        assert_eq!(Decoded::Corrected { data: 6, bit: 3 }.data(), Some(6));
+        assert_eq!(Decoded::DoubleError.data(), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(data: u64) {
+            prop_assert_eq!(decode(encode(data)), Decoded::Clean { data });
+        }
+
+        #[test]
+        fn prop_single_error_corrected(data: u64, bit in 0u32..72) {
+            let corrupted = encode(data) ^ (1u128 << bit);
+            prop_assert_eq!(decode(corrupted).data(), Some(data));
+        }
+
+        #[test]
+        fn prop_double_error_detected(data: u64, b1 in 0u32..72, b2 in 0u32..72) {
+            prop_assume!(b1 != b2);
+            let corrupted = encode(data) ^ (1u128 << b1) ^ (1u128 << b2);
+            prop_assert_eq!(decode(corrupted), Decoded::DoubleError);
+        }
+
+        #[test]
+        fn prop_check_byte_round_trip(data: u64) {
+            let cw = encode(data);
+            prop_assert_eq!(assemble(data, check_byte(cw)), cw);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! The PCC (parity correction code): XOR parity across a line's words.
+//!
+//! PCMap's RoW mechanism treats the one data chip busy with a write as
+//! *faulty* and reconstructs its word from the other seven data words plus
+//! the PCC word, exactly like a RAID-5 stripe rebuild (§IV-B). The code here
+//! is deliberately simple — the controller always knows *which* chip is
+//! missing, so pure XOR erasure recovery suffices.
+
+use pcmap_types::{CacheLine, WORDS_PER_LINE};
+
+/// XOR parity of all eight words of a line — the word stored on the PCC
+/// chip.
+pub fn parity_of(line: &CacheLine) -> u64 {
+    line.parity_word()
+}
+
+/// Reconstructs the word at `missing` from the other seven words and the
+/// parity word.
+///
+/// `present` supplies the line with the missing word's slot holding any
+/// stale value; only the other seven slots are read.
+///
+/// # Panics
+///
+/// Panics if `missing >= 8`.
+pub fn reconstruct_word(present: &CacheLine, missing: usize, parity: u64) -> u64 {
+    assert!(missing < WORDS_PER_LINE, "word index {missing} out of range");
+    let mut acc = parity;
+    for i in 0..WORDS_PER_LINE {
+        if i != missing {
+            acc ^= present.word(i);
+        }
+    }
+    acc
+}
+
+/// Incrementally updates a stored parity word when one data word changes
+/// (`new_parity = old_parity ^ old_word ^ new_word`) — how the PCC chip is
+/// kept current by the second step of a RoW-split write without re-reading
+/// the whole line.
+pub fn update_parity(old_parity: u64, old_word: u64, new_word: u64) -> u64 {
+    old_parity ^ old_word ^ new_word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reconstructs_each_position() {
+        let line = CacheLine::from_seed(0xabcd);
+        let p = parity_of(&line);
+        for missing in 0..WORDS_PER_LINE {
+            let mut stale = line;
+            stale.set_word(missing, 0xfeed_face); // garbage in the missing slot
+            assert_eq!(reconstruct_word(&stale, missing, p), line.word(missing));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reconstruct_rejects_bad_index() {
+        let line = CacheLine::zeroed();
+        reconstruct_word(&line, 8, 0);
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute() {
+        let mut line = CacheLine::from_seed(7);
+        let p0 = parity_of(&line);
+        let old = line.word(3);
+        line.set_word(3, 0x1234_5678);
+        assert_eq!(update_parity(p0, old, line.word(3)), parity_of(&line));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_reconstruct_any_erasure(seed: u64, missing in 0usize..8) {
+            let line = CacheLine::from_seed(seed);
+            let p = parity_of(&line);
+            prop_assert_eq!(reconstruct_word(&line, missing, p), line.word(missing));
+        }
+
+        #[test]
+        fn prop_incremental_equals_full(seed: u64, idx in 0usize..8, new_word: u64) {
+            let mut line = CacheLine::from_seed(seed);
+            let p0 = parity_of(&line);
+            let old = line.word(idx);
+            line.set_word(idx, new_word);
+            prop_assert_eq!(update_parity(p0, old, new_word), parity_of(&line));
+        }
+    }
+}

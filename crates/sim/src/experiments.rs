@@ -1,0 +1,269 @@
+//! The registry of paper experiments: one entry per figure/table of the
+//! evaluation (see DESIGN.md §3 for the index).
+//!
+//! Each function runs the necessary simulations and returns structured
+//! rows; the `pcmap-bench` binaries render them as the same rows/series
+//! the paper reports.
+
+use crate::system::{RunReport, SimConfig, System};
+use pcmap_core::{RollbackMode, SystemKind};
+use pcmap_types::TimingParams;
+use pcmap_workloads::catalog::{self, Workload};
+use pcmap_workloads::{CoreStream, StreamOp};
+
+/// How much work to spend per experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalScale {
+    /// Memory requests injected per simulation run.
+    pub requests: u64,
+    /// Use all 13 PARSEC programs for Average(MT) (paper) instead of the
+    /// six listed ones (quick mode).
+    pub full_mt: bool,
+}
+
+impl EvalScale {
+    /// Quick mode for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self { requests: 4_000, full_mt: false }
+    }
+
+    /// Default experiment scale.
+    pub fn default_scale() -> Self {
+        Self { requests: 24_000, full_mt: false }
+    }
+
+    /// Paper-strength runs (slow).
+    pub fn full() -> Self {
+        Self { requests: 120_000, full_mt: true }
+    }
+}
+
+/// Runs one (workload, kind) simulation.
+pub fn run_one(workload: &Workload, kind: SystemKind, scale: EvalScale) -> RunReport {
+    let cfg = SimConfig::paper_default(kind).with_requests(scale.requests);
+    System::new(cfg, workload.clone()).run()
+}
+
+/// The standard figure row set: the six Table II MT workloads, then the
+/// six MP mixes. (`Average(MT)`/`Average(MP)` rows are computed by the
+/// caller from these.)
+pub fn figure_workloads(scale: EvalScale) -> Vec<Workload> {
+    let mut v = if scale.full_mt { catalog::mt_all() } else { catalog::mt_selected() };
+    v.extend(catalog::mp_workloads());
+    v
+}
+
+/// One workload evaluated under all six systems (paper Figures 8–11).
+#[derive(Debug, Clone)]
+pub struct WorkloadEval {
+    /// Workload name.
+    pub name: String,
+    /// `true` for multi-threaded rows.
+    pub multi_threaded: bool,
+    /// One report per [`SystemKind::all`] entry, in that order.
+    pub reports: Vec<RunReport>,
+}
+
+impl WorkloadEval {
+    /// The report for `kind`.
+    pub fn report(&self, kind: SystemKind) -> &RunReport {
+        &self.reports[SystemKind::all().iter().position(|k| *k == kind).expect("known kind")]
+    }
+}
+
+/// Runs the full evaluation matrix behind Figures 8, 9, 10 and 11.
+pub fn evaluate_matrix(scale: EvalScale) -> Vec<WorkloadEval> {
+    figure_workloads(scale)
+        .into_iter()
+        .map(|w| {
+            let multi_threaded = !w.name.starts_with("MP");
+            let reports =
+                SystemKind::all().iter().map(|&k| run_one(&w, k, scale)).collect();
+            WorkloadEval { name: w.name.clone(), multi_threaded, reports }
+        })
+        .collect()
+}
+
+/// Figure 1 row: read-delay impact of asymmetric writes in the baseline.
+#[derive(Debug, Clone)]
+pub struct Fig1Row {
+    /// SPEC program (rate mode).
+    pub workload: String,
+    /// Percent of reads delayed by write activity.
+    pub delayed_pct: f64,
+    /// Effective read latency normalized to a symmetric-PCM baseline.
+    pub norm_read_latency: f64,
+}
+
+/// Runs Figure 1: baseline system with asymmetric PCM vs a symmetric-PCM
+/// variant (write latency = read latency).
+pub fn fig1(scale: EvalScale) -> Vec<Fig1Row> {
+    catalog::spec_rate_workloads()
+        .into_iter()
+        .map(|w| {
+            let asym = run_one(&w, SystemKind::Baseline, scale);
+            let sym_cfg = SimConfig::paper_default(SystemKind::Baseline)
+                .with_requests(scale.requests)
+                .with_timing(TimingParams::paper_default().symmetric());
+            let sym = System::new(sym_cfg, w.clone()).run();
+            Fig1Row {
+                workload: w.name.clone(),
+                delayed_pct: asym.delayed_read_fraction * 100.0,
+                norm_read_latency: if sym.mean_read_latency == 0.0 {
+                    0.0
+                } else {
+                    asym.mean_read_latency / sym.mean_read_latency
+                },
+            }
+        })
+        .collect()
+}
+
+/// Figure 2 row: measured essential-word distribution of a program's
+/// write-back stream.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// SPEC program.
+    pub workload: String,
+    /// Fraction of write-backs dirtying exactly `i` words, `i = 0..=8`.
+    pub fractions: [f64; 9],
+}
+
+/// Runs Figure 2 directly on the workload generators (no timing needed):
+/// the distribution of essential words per write-back.
+pub fn fig2(writes_per_app: u64) -> Vec<Fig2Row> {
+    catalog::spec_apps()
+        .iter()
+        .map(|p| {
+            let mut gen = CoreStream::new(p, 0, 0xF162);
+            let mut hist = [0u64; 9];
+            let mut writes = 0;
+            while writes < writes_per_app {
+                if let StreamOp::Write { dirty, .. } = gen.next_op() {
+                    hist[dirty.count()] += 1;
+                    writes += 1;
+                }
+            }
+            let total = writes as f64;
+            let mut fractions = [0.0; 9];
+            for (i, h) in hist.iter().enumerate() {
+                fractions[i] = *h as f64 / total;
+            }
+            Fig2Row { workload: p.name.to_owned(), fractions }
+        })
+        .collect()
+}
+
+/// Table III row: IPC improvement vs write:read latency ratio.
+#[derive(Debug, Clone)]
+pub struct Tab3Row {
+    /// The write:read latency ratio (2, 4, 6, 8).
+    pub ratio: u64,
+    /// RWoW-RDE IPC improvement over baseline, percent.
+    pub rwow_rde_pct: f64,
+    /// RWoW-NR IPC improvement over baseline, percent.
+    pub rwow_nr_pct: f64,
+}
+
+/// Runs Table III: sweep the write:read latency ratio with write latency
+/// pinned at 120 ns. Improvements are averaged over `workloads`.
+pub fn tab3(scale: EvalScale, workloads: &[Workload]) -> Vec<Tab3Row> {
+    [2u64, 4, 6, 8]
+        .iter()
+        .map(|&ratio| {
+            let timing = TimingParams::paper_default().with_write_to_read_ratio(ratio);
+            let mut imp_rde = 0.0;
+            let mut imp_nr = 0.0;
+            for w in workloads {
+                let run = |kind: SystemKind| {
+                    let cfg = SimConfig::paper_default(kind)
+                        .with_requests(scale.requests)
+                        .with_timing(timing);
+                    System::new(cfg, w.clone()).run()
+                };
+                let base = run(SystemKind::Baseline).ipc();
+                imp_rde += (run(SystemKind::RwowRde).ipc() / base - 1.0) * 100.0;
+                imp_nr += (run(SystemKind::RwowNr).ipc() / base - 1.0) * 100.0;
+            }
+            let n = workloads.len() as f64;
+            Tab3Row { ratio, rwow_rde_pct: imp_rde / n, rwow_nr_pct: imp_nr / n }
+        })
+        .collect()
+}
+
+/// Table IV row: rollback cost bounds for the high-rollback workloads.
+#[derive(Debug, Clone)]
+pub struct Tab4Row {
+    /// Workload name.
+    pub workload: String,
+    /// Measured consumed-before-check fraction of RoW reads (percent).
+    pub max_rollback_pct: f64,
+    /// IPC improvement over baseline when every consumed read rolls back.
+    pub faulty_imp_pct: f64,
+    /// IPC improvement over baseline with no rollbacks.
+    pub none_faulty_imp_pct: f64,
+}
+
+/// Runs Table IV on the paper's four max-rollback workloads.
+///
+/// Uses `RWoW-NR`: with the fixed layout the ECC chip is busy during every
+/// write's step 1, so every RoW read defers its SECDED check — the paper's
+/// rollback-exposed configuration. (Under ECC/PCC rotation most RoW reads
+/// validate immediately from their check byte and carry no rollback risk
+/// at all; see DESIGN.md §4b.)
+pub fn tab4(scale: EvalScale) -> Vec<Tab4Row> {
+    ["canneal", "facesim", "MP6", "ferret"]
+        .iter()
+        .map(|name| {
+            let w = catalog::by_name(name).expect("catalog workload");
+            let base = run_one(&w, SystemKind::Baseline, scale).ipc();
+            let run_mode = |mode: RollbackMode| {
+                let cfg = SimConfig::paper_default(SystemKind::RwowNr)
+                    .with_requests(scale.requests)
+                    .with_rollback(mode);
+                System::new(cfg, w.clone()).run()
+            };
+            let faulty = run_mode(RollbackMode::AlwaysFaulty);
+            let clean = run_mode(RollbackMode::NeverFaulty);
+            let row_reads = faulty.reads_via_row.max(1);
+            Tab4Row {
+                workload: w.name.clone(),
+                max_rollback_pct: faulty.consumed_before_check as f64 * 100.0
+                    / row_reads as f64,
+                faulty_imp_pct: (faulty.ipc() / base - 1.0) * 100.0,
+                none_faulty_imp_pct: (clean.ipc() / base - 1.0) * 100.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_distribution_matches_anchors() {
+        let rows = fig2(20_000);
+        let cactus = rows.iter().find(|r| r.workload == "cactusADM").unwrap();
+        assert!((cactus.fractions[1] - 0.52).abs() < 0.02, "{}", cactus.fractions[1]);
+        let omnet = rows.iter().find(|r| r.workload == "omnetpp").unwrap();
+        assert!((omnet.fractions[1] - 0.14).abs() < 0.02, "{}", omnet.fractions[1]);
+        for r in &rows {
+            let sum: f64 = r.fractions.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn evaluate_matrix_quick_has_all_kinds() {
+        let scale = EvalScale { requests: 600, full_mt: false };
+        // Single workload to keep the test fast.
+        let w = catalog::by_name("dedup").unwrap();
+        let reports: Vec<_> =
+            SystemKind::all().iter().map(|&k| run_one(&w, k, scale)).collect();
+        assert_eq!(reports.len(), 6);
+        for r in &reports {
+            assert!(r.writes_completed > 0, "{:?} made no progress", r.kind);
+        }
+    }
+}

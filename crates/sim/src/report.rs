@@ -1,0 +1,122 @@
+//! Plain-text table rendering for experiment binaries.
+
+use std::fmt::Write as _;
+
+/// Builds fixed-width text tables matching the rows/series the paper's
+/// figures and tables report.
+///
+/// # Example
+///
+/// ```
+/// use pcmap_sim::TableBuilder;
+///
+/// let mut t = TableBuilder::new(&["workload", "IRLP"]);
+/// t.row(&["canneal".to_string(), format!("{:.2}", 4.5)]);
+/// let text = t.render();
+/// assert!(text.contains("canneal"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (c, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}  ", cell, width = widths[c]);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * cols;
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a ratio as a percentage improvement over a baseline value
+/// (positive = better when `higher_is_better`).
+pub fn improvement_pct(value: f64, baseline: f64, higher_is_better: bool) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    let delta = (value - baseline) / baseline * 100.0;
+    if higher_is_better {
+        delta
+    } else {
+        -delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TableBuilder::new(&["name", "v"]);
+        t.row(&["a".into(), "1.00".into()]);
+        t.row(&["longer-name".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a "));
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TableBuilder::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn improvement_signs() {
+        assert!((improvement_pct(1.2, 1.0, true) - 20.0).abs() < 1e-9);
+        assert_eq!(improvement_pct(0.5, 1.0, false), 50.0);
+        assert_eq!(improvement_pct(1.0, 0.0, true), 0.0);
+    }
+}

@@ -1,0 +1,707 @@
+//! The event-driven full-system simulation.
+
+use pcmap_core::{build_controller, RollbackMode, SystemKind};
+use pcmap_cpu::core_model::{cpu_to_mem, mem_to_cpu, CoreAction, CoreModel};
+use pcmap_cpu::{RollbackModel, WorkOp};
+use pcmap_ctrl::{Completion, Controller, MemRequest, ReqId, ReqKind};
+use pcmap_types::{CoreId, CpuParams, Cycle, MemOrg, QueueParams, TimingParams, Xoshiro256};
+use pcmap_workloads::{CoreStream, StreamOp, Workload};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Which memory system to simulate.
+    pub kind: SystemKind,
+    /// Memory organization (Table I by default).
+    pub org: MemOrg,
+    /// Timing parameters.
+    pub timing: TimingParams,
+    /// Queue sizing and drain watermarks.
+    pub queues: QueueParams,
+    /// CPU-side parameters.
+    pub cpu: CpuParams,
+    /// RoW rollback accounting mode.
+    pub rollback: RollbackMode,
+    /// Master seed (streams, data fabrication, pristine memory contents).
+    pub seed: u64,
+    /// Total memory requests to inject across all cores.
+    pub max_requests: u64,
+    /// Hard safety cap on simulated memory cycles.
+    pub max_mem_cycles: u64,
+}
+
+impl SimConfig {
+    /// Table I configuration for the given system kind, with a moderate
+    /// default request budget.
+    pub fn paper_default(kind: SystemKind) -> Self {
+        Self {
+            kind,
+            org: MemOrg::paper_default(),
+            timing: TimingParams::paper_default(),
+            queues: QueueParams::paper_default(),
+            cpu: CpuParams::paper_default(),
+            rollback: RollbackMode::NeverFaulty,
+            seed: 0xC0FFEE,
+            max_requests: 24_000,
+            max_mem_cycles: 200_000_000,
+        }
+    }
+
+    /// Sets the total request budget.
+    pub fn with_requests(mut self, n: u64) -> Self {
+        self.max_requests = n;
+        self
+    }
+
+    /// Replaces the timing parameters (latency-ratio sweeps, symmetric PCM).
+    pub fn with_timing(mut self, t: TimingParams) -> Self {
+        self.timing = t;
+        self
+    }
+
+    /// Sets the rollback accounting mode (Table IV).
+    pub fn with_rollback(mut self, mode: RollbackMode) -> Self {
+        self.rollback = mode;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// System simulated.
+    pub kind: SystemKind,
+    /// Workload name.
+    pub workload: String,
+    /// Simulated memory cycles.
+    pub mem_cycles: u64,
+    /// Total instructions retired across cores.
+    pub instructions: u64,
+    /// Wall-clock CPU cycles (slowest core).
+    pub cpu_cycles: u64,
+    /// Reads completed.
+    pub reads_completed: u64,
+    /// Writes committed.
+    pub writes_completed: u64,
+    /// Mean effective read latency in memory cycles.
+    pub mean_read_latency: f64,
+    /// Median effective read latency (memory cycles).
+    pub p50_read_latency: u64,
+    /// 95th-percentile effective read latency.
+    pub p95_read_latency: u64,
+    /// 99th-percentile effective read latency.
+    pub p99_read_latency: u64,
+    /// Fraction of reads delayed by write activity (Figure 1).
+    pub delayed_read_fraction: f64,
+    /// Mean IRLP over write windows (Figure 8).
+    pub irlp_mean: f64,
+    /// Maximum per-write IRLP (Figure 8).
+    pub irlp_max: f64,
+    /// Writes per kilo-memory-cycle (Figure 9).
+    pub write_throughput: f64,
+    /// Mean essential words per write (Figure 2 / §III-B).
+    pub mean_essential_words: f64,
+    /// Aggregate essential-word histogram.
+    pub essential_histogram: [u64; 9],
+    /// Reads served by RoW (reconstruction or deferred verify).
+    pub reads_via_row: u64,
+    /// Writes that overlapped another write (WoW).
+    pub wow_overlaps: u64,
+    /// Pipeline rollbacks charged.
+    pub rollbacks: u64,
+    /// RoW reads consumed before their deferred check.
+    pub consumed_before_check: u64,
+    /// Reads forwarded from write queues.
+    pub reads_forwarded: u64,
+    /// Overlap-read attempts blocked: ≥2 word chips busy.
+    pub row_blocked_multi: u64,
+    /// Write-issue attempts blocked on data/ECC/PCC chips.
+    pub wr_blocked: (u64, u64, u64),
+    /// Reads served with deferred verification only.
+    pub reads_deferred_only: u64,
+    /// Write-drain episodes across all controllers.
+    pub drains: u64,
+    /// Reads whose SECDED check corrected a single-bit error.
+    pub ecc_corrected: u64,
+    /// Reads whose SECDED check found an uncorrectable error.
+    pub ecc_uncorrectable: u64,
+    /// Overlap-read attempts blocked: PCC chip busy.
+    pub row_blocked_pcc: u64,
+    /// Per-chip write imbalance (max/mean; 1.0 = perfectly balanced).
+    pub wear_imbalance: f64,
+    /// Dynamic PCM energy (reads sensed + bits programmed), nanojoules.
+    pub energy_dynamic_nj: f64,
+    /// Total PCM energy including background power over the run, nJ.
+    pub energy_total_nj: f64,
+}
+
+impl RunReport {
+    /// Aggregate IPC: instructions per CPU cycle across all 8 cores.
+    pub fn ipc(&self) -> f64 {
+        if self.cpu_cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cpu_cycles as f64
+        }
+    }
+
+    /// Mean IRLP (paper Figure 8 metric).
+    pub fn irlp(&self) -> f64 {
+        self.irlp_mean
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Delivery {
+    when: Cycle,
+    core: usize,
+    is_read: bool,
+    via_row: bool,
+    verify_done: Option<Cycle>,
+}
+
+impl Ord for Delivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.when, self.core, self.is_read).cmp(&(other.when, other.core, other.is_read))
+    }
+}
+
+impl PartialOrd for Delivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The composed 8-core / 4-channel system.
+pub struct System {
+    cfg: SimConfig,
+    workload_name: String,
+    ctrls: Vec<Box<dyn Controller>>,
+    cores: Vec<CoreModel>,
+    streams: Vec<CoreStream>,
+    /// The pending memory op's concrete address/mask per core.
+    op_details: Vec<Option<StreamOp>>,
+    /// Cores whose next progress comes from a read delivery, not their
+    /// local clock.
+    awaiting_delivery: Vec<bool>,
+    rollback: Vec<RollbackModel>,
+    data_rng: Xoshiro256,
+    next_req: u64,
+    budget_per_core: u64,
+    issued_per_core: Vec<u64>,
+    deliveries: BinaryHeap<Reverse<Delivery>>,
+    crawl_steps: u32,
+}
+
+impl System {
+    /// Builds a system running `workload` under `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload does not provide one profile per core or the
+    /// configuration fails validation.
+    pub fn new(cfg: SimConfig, workload: Workload) -> Self {
+        cfg.org.validate().expect("valid organization");
+        cfg.timing.validate().expect("valid timing");
+        cfg.queues.validate().expect("valid queues");
+        cfg.cpu.validate().expect("valid cpu params");
+        assert_eq!(
+            workload.per_core.len(),
+            cfg.cpu.cores as usize,
+            "workload must supply one profile per core"
+        );
+        let ctrls = (0..cfg.org.channels)
+            .map(|ch| {
+                build_controller(
+                    cfg.kind,
+                    cfg.org,
+                    cfg.timing,
+                    cfg.queues,
+                    cfg.seed ^ ((ch as u64) << 17),
+                )
+            })
+            .collect();
+        let cores: Vec<CoreModel> =
+            (0..cfg.cpu.cores).map(|i| CoreModel::new(CoreId(i), &cfg.cpu)).collect();
+        let streams = workload
+            .per_core
+            .iter()
+            .enumerate()
+            .map(|(i, p)| CoreStream::new(p, i, cfg.seed))
+            .collect();
+        let always_faulty = cfg.rollback == RollbackMode::AlwaysFaulty;
+        let rollback = workload
+            .per_core
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                RollbackModel::new(
+                    p.rollback_p,
+                    always_faulty,
+                    cfg.cpu.rollback_penalty_cpu_cycles,
+                    cfg.seed ^ (i as u64),
+                )
+            })
+            .collect();
+        let budget_per_core = (cfg.max_requests / cfg.cpu.cores as u64).max(1);
+        let n = cores.len();
+        Self {
+            cfg,
+            workload_name: workload.name,
+            ctrls,
+            cores,
+            streams,
+            op_details: vec![None; n],
+            awaiting_delivery: vec![false; n],
+            rollback,
+            data_rng: Xoshiro256::new(0xDA7A),
+            next_req: 0,
+            budget_per_core,
+            issued_per_core: vec![0; n],
+            deliveries: BinaryHeap::new(),
+            crawl_steps: 0,
+        }
+    }
+
+    /// Enables chip-occupancy tracing on every channel (for timeline
+    /// rendering; keep runs short).
+    pub fn enable_tracing(&mut self) {
+        for c in &mut self.ctrls {
+            c.set_trace(true);
+        }
+    }
+
+    /// Access to the per-channel controllers (inspection, fault injection).
+    pub fn controllers(&self) -> &[Box<dyn Controller>] {
+        &self.ctrls
+    }
+
+    /// Mutable access to the controllers (fault injection in tests).
+    pub fn controllers_mut(&mut self) -> &mut [Box<dyn Controller>] {
+        &mut self.ctrls
+    }
+
+    /// Runs to completion and produces the report.
+    pub fn run(mut self) -> RunReport {
+        let mut now = Cycle(0);
+        loop {
+            // 1. Deliver due completions to cores.
+            while let Some(Reverse(d)) = self.deliveries.peek().copied() {
+                if d.when > now {
+                    break;
+                }
+                self.deliveries.pop();
+                self.deliver(d, now);
+            }
+
+            // 2. Let cores act and enqueue requests.
+            self.poll_cores(now);
+
+            // 3. Step controllers.
+            for ch in 0..self.ctrls.len() {
+                let comps = self.ctrls[ch].step(now);
+                for comp in comps {
+                    self.push_completion(comp);
+                }
+            }
+
+            // 4. Find the next event.
+            if self.finished(now) {
+                break;
+            }
+            let mut next = Cycle::MAX;
+            if let Some(Reverse(d)) = self.deliveries.peek() {
+                next = next.min(d.when);
+            }
+            for ctrl in &self.ctrls {
+                if let Some(w) = ctrl.next_wake(now) {
+                    next = next.min(w);
+                }
+            }
+            for (i, core) in self.cores.iter().enumerate() {
+                if core.is_finished() || self.awaiting_delivery[i] {
+                    continue;
+                }
+                next = next.min(cpu_to_mem(core.now(), &self.cfg.cpu));
+            }
+            if next == Cycle::MAX || next <= now {
+                self.crawl_steps += 1;
+                if self.crawl_steps > 500_000 {
+                    panic!(
+                        "simulation livelock at {:?}: rq={:?} wq={:?} deliveries={} cores_fin={:?}",
+                        now,
+                        self.ctrls.iter().map(|c| c.read_q_len()).collect::<Vec<_>>(),
+                        self.ctrls.iter().map(|c| c.write_q_len()).collect::<Vec<_>>(),
+                        self.deliveries.len(),
+                        self.cores.iter().map(|c| c.is_finished()).collect::<Vec<_>>(),
+                    );
+                }
+                now = Cycle(now.0 + 1);
+            } else {
+                self.crawl_steps = 0;
+                now = next;
+            }
+            if now.0 > self.cfg.max_mem_cycles {
+                break;
+            }
+        }
+
+        for ctrl in &mut self.ctrls {
+            ctrl.settle(Cycle::MAX);
+        }
+        self.report(now)
+    }
+
+    fn deliver(&mut self, d: Delivery, _now: Cycle) {
+        if !d.is_read {
+            return;
+        }
+        let cpu_when = mem_to_cpu(d.when, &self.cfg.cpu);
+        self.cores[d.core].read_returned(cpu_when);
+        self.awaiting_delivery[d.core] = false;
+        if d.via_row {
+            if let Some(vd) = d.verify_done {
+                if let Some((at, penalty)) = self.rollback[d.core].on_row_read(vd) {
+                    let cpu_at = mem_to_cpu(at, &self.cfg.cpu);
+                    self.cores[d.core].rollback(cpu_at, penalty);
+                }
+            }
+        }
+    }
+
+    fn push_completion(&mut self, comp: Completion) {
+        self.deliveries.push(Reverse(Delivery {
+            when: comp.done,
+            core: comp.core.index(),
+            is_read: comp.is_read,
+            via_row: comp.via_row,
+            verify_done: comp.verify_done,
+        }));
+    }
+
+    fn poll_cores(&mut self, now: Cycle) {
+        let cpu_now = mem_to_cpu(now, &self.cfg.cpu);
+        for i in 0..self.cores.len() {
+            loop {
+                if self.cores[i].needs_op() {
+                    if self.issued_per_core[i] >= self.budget_per_core {
+                        self.cores[i].supply(None);
+                    } else {
+                        let op = self.streams[i].next_op();
+                        match op {
+                            StreamOp::Compute(n) => {
+                                self.cores[i].supply(Some(WorkOp::Compute(n)))
+                            }
+                            StreamOp::Read(_) => {
+                                self.op_details[i] = Some(op);
+                                self.cores[i].supply(Some(WorkOp::Read));
+                            }
+                            StreamOp::Write { .. } => {
+                                self.op_details[i] = Some(op);
+                                self.cores[i].supply(Some(WorkOp::Write));
+                            }
+                        }
+                    }
+                    continue;
+                }
+                match self.cores[i].poll(cpu_now) {
+                    CoreAction::WantRead => {
+                        if !self.try_issue(i, true, now) {
+                            break;
+                        }
+                    }
+                    CoreAction::WantWrite => {
+                        if !self.try_issue(i, false, now) {
+                            break;
+                        }
+                    }
+                    CoreAction::BusyUntil(t) => {
+                        if t > cpu_now {
+                            break;
+                        }
+                        // The compute burst ended exactly now; loop to get
+                        // the next op (needs_op branch above).
+                        if !self.cores[i].needs_op() {
+                            break;
+                        }
+                    }
+                    CoreAction::StalledOnRead => {
+                        self.awaiting_delivery[i] = true;
+                        break;
+                    }
+                    CoreAction::Done => {
+                        self.awaiting_delivery[i] = self.cores[i].outstanding_reads() > 0;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_issue(&mut self, i: usize, is_read: bool, now: Cycle) -> bool {
+        let (addr, dirty) = match self.op_details[i] {
+            Some(StreamOp::Read(a)) => (a, None),
+            Some(StreamOp::Write { addr, dirty }) => (addr, Some(dirty)),
+            _ => unreachable!("core wants a memory op but none is staged"),
+        };
+        debug_assert_eq!(is_read, dirty.is_none());
+        let loc = self.cfg.org.decode(addr);
+        let ch = loc.channel.index();
+        let id = ReqId(self.next_req);
+
+        let kind = if let Some(mask) = dirty {
+            // Fabricate contents differing from storage in exactly `mask`.
+            let stored = self.ctrls[ch].rank().read_line(loc.bank, loc.row, loc.col);
+            let mut data = stored.data;
+            for w in mask.iter() {
+                let mut flip = self.data_rng.next_u64();
+                if flip == 0 {
+                    flip = 1;
+                }
+                data.set_word(w, stored.data.word(w) ^ flip);
+            }
+            ReqKind::Write { data }
+        } else {
+            ReqKind::Read
+        };
+
+        let req = MemRequest { id, kind, line: addr.line(), loc, core: CoreId(i as u8), arrival: now };
+
+        let outcome = if is_read {
+            self.ctrls[ch].enqueue_read(req, now).map(|fwd| {
+                self.cores[i].read_issued();
+                if let Some(comp) = fwd {
+                    self.push_completion(comp);
+                }
+            })
+        } else {
+            self.ctrls[ch].enqueue_write(req, now).map(|()| {
+                self.cores[i].write_issued();
+            })
+        };
+
+        match outcome {
+            Ok(()) => {
+                self.next_req += 1;
+                self.issued_per_core[i] += 1;
+                self.op_details[i] = None;
+                true
+            }
+            Err(_) => {
+                let retry = self.ctrls[ch]
+                    .next_wake(now)
+                    .unwrap_or(Cycle(now.0 + 8))
+                    .max(Cycle(now.0 + 1));
+                let retry_cpu = mem_to_cpu(retry, &self.cfg.cpu).max(1);
+                if is_read {
+                    self.cores[i].read_blocked(retry_cpu);
+                } else {
+                    self.cores[i].write_blocked(retry_cpu);
+                }
+                false
+            }
+        }
+    }
+
+    fn finished(&self, now: Cycle) -> bool {
+        self.cores.iter().all(|c| c.is_finished())
+            && self.deliveries.is_empty()
+            && self.ctrls.iter().all(|c| c.next_wake(now).is_none())
+    }
+
+    fn report(&self, now: Cycle) -> RunReport {
+        let mut reads = 0;
+        let mut writes = 0;
+        let mut lat_sum = 0.0;
+        let mut delayed = 0u64;
+        let mut via_row = 0;
+        let mut wow = 0;
+        let mut fwd = 0;
+        let mut bm = 0;
+        let mut bp = 0;
+        let mut wb = (0, 0, 0);
+        let mut rdo = 0;
+        let mut drains = 0;
+        let mut ecc_c = 0;
+        let mut ecc_u = 0;
+        let mut hist = [0u64; 9];
+        let mut irlp_samples = 0usize;
+        let mut irlp_sum = 0.0;
+        let mut irlp_max = 0.0f64;
+        let mut wear_imb = 0.0;
+        let mut energy = pcmap_device::EnergyMeter::new();
+        let mut lat_hist = pcmap_ctrl::LatencyHistogram::new();
+        for ctrl in &self.ctrls {
+            lat_hist.merge(&ctrl.stats().read_latency_hist);
+            let e = ctrl.rank().energy();
+            energy.record_read(e.bits_read);
+            energy.record_write(e.bits_set, e.bits_reset);
+            drains += ctrl.drains_started();
+            let s = ctrl.stats();
+            reads += s.reads_done;
+            writes += s.writes_done;
+            lat_sum += s.read_latency_sum.as_u64() as f64;
+            delayed += s.reads_delayed_by_write;
+            via_row += s.reads_via_row;
+            wow += s.wow_overlaps;
+            fwd += s.reads_forwarded;
+            bm += s.row_blocked_multi_busy;
+            bp += s.row_blocked_pcc_busy;
+            wb.0 += s.wr_blocked_data;
+            wb.1 += s.wr_blocked_ecc;
+            wb.2 += s.wr_blocked_pcc;
+            rdo += s.reads_deferred_only;
+            ecc_c += s.ecc_corrected;
+            ecc_u += s.ecc_uncorrectable;
+            for (i, h) in s.essential_histogram.iter().enumerate() {
+                hist[i] += h;
+            }
+            irlp_samples += s.irlp.samples().len();
+            irlp_sum += s.irlp.samples().iter().sum::<f64>();
+            irlp_max = irlp_max.max(s.irlp.max());
+            wear_imb = f64::max(wear_imb, ctrl.rank().wear().imbalance());
+        }
+        let total_hist: u64 = hist.iter().sum();
+        let mean_essential = if total_hist == 0 {
+            0.0
+        } else {
+            hist.iter().enumerate().map(|(i, &n)| i as u64 * n).sum::<u64>() as f64
+                / total_hist as f64
+        };
+        let instructions: u64 = self.cores.iter().map(|c| c.stats().retired).sum();
+        let cpu_cycles = self.cores.iter().map(|c| c.now()).max().unwrap_or(0);
+        let rollbacks: u64 = self.cores.iter().map(|c| c.stats().rollbacks).sum();
+        let consumed: u64 = self
+            .rollback
+            .iter()
+            .map(|m| (m.consumed_fraction() * m.row_reads() as f64).round() as u64)
+            .sum();
+        RunReport {
+            kind: self.cfg.kind,
+            workload: self.workload_name.clone(),
+            mem_cycles: now.0,
+            instructions,
+            cpu_cycles,
+            reads_completed: reads,
+            writes_completed: writes,
+            mean_read_latency: if reads == 0 { 0.0 } else { lat_sum / reads as f64 },
+            p50_read_latency: if reads == 0 { 0 } else { lat_hist.percentile(50.0) },
+            p95_read_latency: if reads == 0 { 0 } else { lat_hist.percentile(95.0) },
+            p99_read_latency: if reads == 0 { 0 } else { lat_hist.percentile(99.0) },
+            delayed_read_fraction: if reads == 0 { 0.0 } else { delayed as f64 / reads as f64 },
+            irlp_mean: if irlp_samples == 0 { 0.0 } else { irlp_sum / irlp_samples as f64 },
+            irlp_max,
+            write_throughput: if now.0 == 0 { 0.0 } else { writes as f64 * 1000.0 / now.0 as f64 },
+            mean_essential_words: mean_essential,
+            essential_histogram: hist,
+            reads_via_row: via_row,
+            wow_overlaps: wow,
+            rollbacks,
+            consumed_before_check: consumed,
+            reads_forwarded: fwd,
+            row_blocked_multi: bm,
+            row_blocked_pcc: bp,
+            wr_blocked: wb,
+            reads_deferred_only: rdo,
+            drains,
+            ecc_corrected: ecc_c,
+            ecc_uncorrectable: ecc_u,
+            energy_dynamic_nj: energy.dynamic_nj(&pcmap_device::EnergyParams::default()),
+            energy_total_nj: energy.total_nj(
+                &pcmap_device::EnergyParams::default(),
+                Cycle(now.0).as_nanos() * self.ctrls.len() as f64,
+            ),
+            wear_imbalance: wear_imb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmap_workloads::catalog;
+
+    fn small_run(kind: SystemKind, requests: u64) -> RunReport {
+        let wl = catalog::by_name("streamcluster").unwrap();
+        let cfg = SimConfig::paper_default(kind).with_requests(requests);
+        System::new(cfg, wl).run()
+    }
+
+    #[test]
+    fn baseline_completes_all_requests() {
+        let r = small_run(SystemKind::Baseline, 800);
+        assert!(r.reads_completed + r.writes_completed >= 790, "{r:?}");
+        assert!(r.mem_cycles > 0);
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn pcmap_completes_all_requests() {
+        let r = small_run(SystemKind::RwowRde, 800);
+        assert!(r.reads_completed + r.writes_completed >= 790, "{r:?}");
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = small_run(SystemKind::RwowNr, 600);
+        let b = small_run(SystemKind::RwowNr, 600);
+        assert_eq!(a.mem_cycles, b.mem_cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.essential_histogram, b.essential_histogram);
+        assert_eq!(a.reads_via_row, b.reads_via_row);
+    }
+
+    #[test]
+    fn same_request_stream_across_kinds() {
+        let a = small_run(SystemKind::Baseline, 600);
+        let b = small_run(SystemKind::RwowRde, 600);
+        // Identical workload injection: same request counts.
+        assert_eq!(
+            a.reads_completed + a.writes_completed,
+            b.reads_completed + b.writes_completed
+        );
+    }
+
+    #[test]
+    fn baseline_irlp_close_to_mean_essential_words() {
+        let r = small_run(SystemKind::Baseline, 1200);
+        assert!(r.irlp_mean > 0.0);
+        // The baseline's write windows contain (almost) only the write's
+        // own essential chips.
+        assert!(
+            (r.irlp_mean - r.mean_essential_words).abs() < 0.6,
+            "irlp {} vs essential {}",
+            r.irlp_mean,
+            r.mean_essential_words
+        );
+    }
+
+    #[test]
+    fn pcmap_beats_baseline_on_read_latency_and_ipc() {
+        // Needs a memory-intensive workload for contention to matter.
+        let wl = catalog::by_name("canneal").unwrap();
+        let run = |kind: SystemKind| {
+            System::new(SimConfig::paper_default(kind).with_requests(4_000), wl.clone()).run()
+        };
+        let base = run(SystemKind::Baseline);
+        let rde = run(SystemKind::RwowRde);
+        assert!(
+            rde.mean_read_latency < base.mean_read_latency,
+            "RDE {} vs baseline {}",
+            rde.mean_read_latency,
+            base.mean_read_latency
+        );
+        assert!(rde.ipc() > base.ipc(), "RDE {} vs baseline {}", rde.ipc(), base.ipc());
+        assert!(rde.irlp_mean > base.irlp_mean, "IRLP must improve");
+        assert!(rde.write_throughput > base.write_throughput);
+    }
+}

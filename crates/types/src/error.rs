@@ -1,0 +1,56 @@
+//! Error types for configuration validation.
+
+use core::fmt;
+
+/// A convenient result alias for configuration APIs.
+pub type Result<T> = core::result::Result<T, ConfigError>;
+
+/// An invalid simulator configuration was supplied.
+///
+/// Returned by the `validate` methods on [`crate::MemOrg`],
+/// [`crate::TimingParams`], [`crate::QueueParams`] and [`crate::CpuParams`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: &'static str,
+}
+
+impl ConfigError {
+    /// Creates an error with a static description.
+    pub fn new(message: &'static str) -> Self {
+        Self { message }
+    }
+
+    /// The human-readable description.
+    pub fn message(&self) -> &str {
+        self.message
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = ConfigError::new("queues must have at least one entry");
+        let s = e.to_string();
+        assert!(s.starts_with("invalid configuration: "));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn takes_err(_e: &(dyn std::error::Error + Send + Sync)) {}
+        let e = ConfigError::new("x");
+        takes_err(&e);
+        assert_eq!(e.message(), "x");
+    }
+}

@@ -1,0 +1,136 @@
+//! Newtype identifiers for hardware coordinates.
+//!
+//! Using distinct types for channels, ranks, banks, chips, rows, columns,
+//! cores and word indices prevents the classic simulator bug of passing a
+//! bank index where a chip index was expected ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use core::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $repr:ty, $short:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Returns the raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$repr> for $name {
+            #[inline]
+            fn from(v: $repr) -> Self {
+                Self(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($short, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A memory channel (the paper's system has 4, one controller each).
+    ChannelId, u8, "ch"
+);
+id_type!(
+    /// A rank within a channel (the paper's system has 1 per channel).
+    RankId, u8, "rk"
+);
+id_type!(
+    /// A bank within a rank (8 in DDR3-style parts).
+    BankId, u8, "bk"
+);
+id_type!(
+    /// A chip (sub-rank) within a rank.
+    ///
+    /// PCMap ranks have ten chips: eight data chips, one SECDED ECC chip and
+    /// one PCC parity chip. Chip indices are *physical*; which logical word
+    /// lives on which physical chip is decided by the rotation layout.
+    ChipId, u8, "chip"
+);
+id_type!(
+    /// A DRAM/PCM row (page) within a bank.
+    RowAddr, u32, "row"
+);
+id_type!(
+    /// A column (cache-line slot) within a row.
+    ColAddr, u32, "col"
+);
+id_type!(
+    /// A CPU core.
+    CoreId, u8, "core"
+);
+id_type!(
+    /// A logical 8-byte word slot within a 64-byte cache line (0..=7).
+    WordIdx, u8, "w"
+);
+
+impl ChipId {
+    /// Number of data chips in a PCMap rank.
+    pub const DATA_CHIPS: usize = 8;
+    /// Total chips in a PCMap rank (8 data + ECC + PCC).
+    pub const TOTAL_CHIPS: usize = 10;
+
+    /// The dedicated SECDED ECC chip in the non-rotated layout.
+    pub const ECC: ChipId = ChipId(8);
+    /// The dedicated parity-correction (PCC) chip in the non-rotated layout.
+    pub const PCC: ChipId = ChipId(9);
+
+    /// Returns `true` if this chip holds data words in the non-rotated
+    /// layout (indices `0..8`).
+    #[inline]
+    pub fn is_data_fixed_layout(self) -> bool {
+        (self.0 as usize) < Self::DATA_CHIPS
+    }
+}
+
+impl WordIdx {
+    /// Iterates over all eight word slots of a cache line.
+    pub fn all() -> impl Iterator<Item = WordIdx> {
+        (0..8u8).map(WordIdx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ChannelId(2).to_string(), "ch2");
+        assert_eq!(ChipId::ECC.to_string(), "chip8");
+        assert_eq!(WordIdx(7).to_string(), "w7");
+    }
+
+    #[test]
+    fn chip_roles() {
+        assert!(ChipId(0).is_data_fixed_layout());
+        assert!(ChipId(7).is_data_fixed_layout());
+        assert!(!ChipId::ECC.is_data_fixed_layout());
+        assert!(!ChipId::PCC.is_data_fixed_layout());
+    }
+
+    #[test]
+    fn word_idx_enumerates_eight() {
+        let all: Vec<_> = WordIdx::all().collect();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0], WordIdx(0));
+        assert_eq!(all[7], WordIdx(7));
+    }
+
+    #[test]
+    fn ordering_and_index() {
+        assert!(BankId(1) < BankId(3));
+        assert_eq!(RowAddr(42).index(), 42);
+        assert_eq!(ChipId::from(4u8), ChipId(4));
+    }
+}

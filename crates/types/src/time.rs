@@ -1,0 +1,168 @@
+//! Simulation time in memory-bus cycles.
+//!
+//! The whole memory system is simulated at the 400 MHz memory clock of
+//! Table I (2.5 ns per cycle). [`Cycle`] is a point in simulated time;
+//! [`Duration`] is a span. CPU-side quantities are converted through the
+//! clock ratio held in [`crate::CpuParams`].
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// Memory clock frequency from Table I of the paper, in MHz.
+pub const MEM_CLOCK_MHZ: u64 = 400;
+
+/// Picoseconds per memory cycle (2.5 ns at 400 MHz).
+pub const PS_PER_CYCLE: u64 = 1_000_000 / MEM_CLOCK_MHZ;
+
+/// A point in simulated time, measured in memory cycles since reset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+/// A span of simulated time, measured in memory cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Cycle {
+    /// Time zero.
+    pub const ZERO: Cycle = Cycle(0);
+    /// The far future; used as "no deadline" / "never busy until".
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Raw cycle count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed time since `earlier`, saturating at zero if `earlier` is
+    /// in the future.
+    #[inline]
+    pub fn since(self, earlier: Cycle) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Converts to nanoseconds of simulated time.
+    #[inline]
+    pub fn as_nanos(self) -> f64 {
+        self.0 as f64 * PS_PER_CYCLE as f64 / 1000.0
+    }
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Builds a duration from nanoseconds, rounding *up* to whole cycles
+    /// (hardware cannot finish mid-cycle).
+    #[inline]
+    pub fn from_nanos(ns: u64) -> Duration {
+        Duration((ns * 1000).div_ceil(PS_PER_CYCLE))
+    }
+
+    /// Raw cycle count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to nanoseconds of simulated time.
+    #[inline]
+    pub fn as_nanos(self) -> f64 {
+        self.0 as f64 * PS_PER_CYCLE as f64 / 1000.0
+    }
+}
+
+impl Add<Duration> for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Duration) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = Duration;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Cycle::since`] for a saturating difference.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nanos_round_trip() {
+        // 60 ns read latency = 24 cycles at 400 MHz.
+        let d = Duration::from_nanos(60);
+        assert_eq!(d.as_u64(), 24);
+        assert_eq!(d.as_nanos(), 60.0);
+    }
+
+    #[test]
+    fn from_nanos_rounds_up() {
+        // 1 ns does not fit in zero cycles.
+        assert_eq!(Duration::from_nanos(1).as_u64(), 1);
+        assert_eq!(Duration::from_nanos(3).as_u64(), 2); // 3ns / 2.5ns -> 2
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Cycle(10) + Duration(5);
+        assert_eq!(t, Cycle(15));
+        assert_eq!(t - Cycle(10), Duration(5));
+        assert_eq!(Cycle(3).since(Cycle(10)), Duration::ZERO);
+        assert_eq!(Cycle(3).max(Cycle(9)), Cycle(9));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Cycle(7).to_string(), "@7");
+        assert_eq!(Duration(7).to_string(), "7cy");
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests over the foundation types.
+
+use pcmap_types::{
+    CacheLine, ChipSet, Cycle, Duration, MemOrg, PhysAddr, SplitMix64, WordMask, Xoshiro256,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn addr_decode_encode_round_trip(line in 0u64..(1 << 27)) {
+        let org = MemOrg::paper_default();
+        let addr = PhysAddr::new(line * 64);
+        let loc = org.decode(addr);
+        let back = org.encode(loc.channel, loc.rank, loc.bank, loc.row, loc.col);
+        prop_assert_eq!(back, addr.line());
+    }
+
+    #[test]
+    fn decode_is_total_and_in_range(raw: u64) {
+        let org = MemOrg::paper_default();
+        let loc = org.decode(PhysAddr::new(raw));
+        prop_assert!(loc.channel.index() < org.channels as usize);
+        prop_assert!(loc.bank.index() < org.banks as usize);
+        prop_assert!((loc.row.0 as u64) < org.rows_per_bank as u64);
+        prop_assert!((loc.col.0 as u64) < org.lines_per_row as u64);
+        prop_assert!(loc.line_offset < 64);
+    }
+
+    #[test]
+    fn diff_words_matches_merge(seed_a: u64, seed_b: u64, bits in 0u16..256) {
+        let a = CacheLine::from_seed(seed_a);
+        let b = CacheLine::from_seed(seed_b);
+        let mask = WordMask::from_bits(bits);
+        // Merging b's masked words into a, then diffing, gives a subset of
+        // the mask (equal when the selected words actually differ).
+        let mut merged = a;
+        merged.merge_words(&b, mask);
+        let diff = a.diff_words(&merged);
+        prop_assert!(diff.is_subset(mask));
+        // And re-merging the diff reproduces `merged` exactly.
+        let mut again = a;
+        again.merge_words(&merged, diff);
+        prop_assert_eq!(again, merged);
+    }
+
+    #[test]
+    fn parity_tracks_any_merge(seed_a: u64, seed_b: u64, bits in 0u16..256) {
+        let a = CacheLine::from_seed(seed_a);
+        let b = CacheLine::from_seed(seed_b);
+        let mut merged = a;
+        merged.merge_words(&b, WordMask::from_bits(bits));
+        let mut expect = 0u64;
+        for i in 0..8 {
+            expect ^= merged.word(i);
+        }
+        prop_assert_eq!(merged.parity_word(), expect);
+    }
+
+    #[test]
+    fn wordmask_set_algebra(a in 0u16..256, b in 0u16..256) {
+        let ma = WordMask::from_bits(a);
+        let mb = WordMask::from_bits(b);
+        prop_assert_eq!((ma | mb).count() + (ma & mb).count(), ma.count() + mb.count());
+        prop_assert!(ma.is_subset(ma | mb));
+        prop_assert!((ma & mb).is_subset(ma));
+        prop_assert_eq!(!(!ma), ma);
+        prop_assert_eq!(ma.is_disjoint(mb), (ma & mb).is_empty());
+    }
+
+    #[test]
+    fn chipset_iteration_matches_membership(bits in 0u16..1024) {
+        let s = ChipSet::from_bits(bits);
+        let collected: ChipSet = s.iter().collect();
+        prop_assert_eq!(collected, s);
+        prop_assert_eq!(s.iter().count(), s.count());
+    }
+
+    #[test]
+    fn duration_nanos_round_up(ns in 0u64..1_000_000) {
+        let d = Duration::from_nanos(ns);
+        prop_assert!(d.as_nanos() >= ns as f64);
+        prop_assert!(d.as_nanos() - (ns as f64) < 2.5);
+    }
+
+    #[test]
+    fn cycle_since_is_saturating(a: u32, b: u32) {
+        let (a, b) = (Cycle(a as u64), Cycle(b as u64));
+        let d = a.since(b);
+        if a >= b {
+            prop_assert_eq!(d.as_u64(), a.as_u64() - b.as_u64());
+        } else {
+            prop_assert_eq!(d, Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn rng_streams_are_independent(seed: u64) {
+        let mut a = Xoshiro256::new(seed);
+        let mut b = Xoshiro256::new(seed.wrapping_add(1));
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        prop_assert!(same < 4, "adjacent seeds must not correlate");
+    }
+
+    #[test]
+    fn splitmix_has_no_short_cycles(seed: u64) {
+        let mut g = SplitMix64::new(seed);
+        let first = g.next_u64();
+        for _ in 0..64 {
+            prop_assert_ne!(g.next_u64(), first);
+        }
+    }
+
+    #[test]
+    fn line_bytes_round_trip(seed: u64) {
+        let line = CacheLine::from_seed(seed);
+        prop_assert_eq!(CacheLine::from_bytes(&line.to_bytes()), line);
+    }
+}

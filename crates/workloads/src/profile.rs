@@ -1,0 +1,144 @@
+//! Per-application workload profiles.
+
+/// The statistical fingerprint of one application's post-LLC memory
+/// behaviour (see crate docs for where each field is calibrated from).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppProfile {
+    /// Application name (SPEC/PARSEC program).
+    pub name: &'static str,
+    /// PCM reads per kilo-instruction.
+    pub rpki: f64,
+    /// PCM writes per kilo-instruction.
+    pub wpki: f64,
+    /// Essential-word histogram: weight of write-backs dirtying exactly
+    /// `i` 8-byte words, `i = 0..=8` (need not be normalized).
+    pub dirty_hist: [f64; 9],
+    /// Probability that the next access continues the current sequential
+    /// run (drives row-buffer hit rate and bank locality).
+    pub row_locality: f64,
+    /// Probability that a write-back reuses the previous write-back's dirty
+    /// offsets (§IV-C2 reports 32 % on average).
+    pub offset_corr: f64,
+    /// Working-set footprint in cache lines.
+    pub footprint_lines: u64,
+    /// Probability a RoW-served read is consumed before its deferred check
+    /// (Table IV).
+    pub rollback_p: f64,
+}
+
+impl AppProfile {
+    /// Mean essential words per write-back implied by the histogram.
+    pub fn mean_dirty_words(&self) -> f64 {
+        let total: f64 = self.dirty_hist.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.dirty_hist
+            .iter()
+            .enumerate()
+            .map(|(i, w)| i as f64 * w)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Fraction of write-backs with fewer than 4 essential words.
+    pub fn under_four_fraction(&self) -> f64 {
+        let total: f64 = self.dirty_hist.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.dirty_hist[..4].iter().sum::<f64>() / total
+    }
+
+    /// Fraction of write-backs dirtying exactly one word.
+    pub fn one_word_fraction(&self) -> f64 {
+        let total: f64 = self.dirty_hist.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.dirty_hist[1] / total
+    }
+
+    /// Scales the memory intensity (RPKI and WPKI) by `factor`, leaving the
+    /// shape parameters untouched. Used to calibrate mixes to Table II
+    /// aggregates.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.rpki *= factor;
+        self.wpki *= factor;
+        self
+    }
+
+    /// Structural sanity checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rates are negative, probabilities out of range, or the
+    /// histogram sums to zero.
+    pub fn validate(&self) {
+        assert!(self.rpki >= 0.0 && self.wpki >= 0.0, "{}: negative rate", self.name);
+        assert!(self.rpki + self.wpki > 0.0, "{}: no memory traffic", self.name);
+        assert!(
+            (0.0..=1.0).contains(&self.row_locality)
+                && (0.0..=1.0).contains(&self.offset_corr)
+                && (0.0..=1.0).contains(&self.rollback_p),
+            "{}: probability out of range",
+            self.name
+        );
+        assert!(self.dirty_hist.iter().sum::<f64>() > 0.0, "{}: empty histogram", self.name);
+        assert!(self.footprint_lines > 8, "{}: degenerate footprint", self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AppProfile {
+        AppProfile {
+            name: "sample",
+            rpki: 4.0,
+            wpki: 2.0,
+            dirty_hist: [10.0, 30.0, 20.0, 10.0, 10.0, 8.0, 5.0, 3.0, 4.0],
+            row_locality: 0.5,
+            offset_corr: 0.32,
+            footprint_lines: 1 << 16,
+            rollback_p: 0.013,
+        }
+    }
+
+    #[test]
+    fn mean_dirty_words_weighted() {
+        let p = sample();
+        let m = p.mean_dirty_words();
+        assert!((m - 2.63).abs() < 0.01, "mean = {m}");
+    }
+
+    #[test]
+    fn fractions() {
+        let p = sample();
+        assert!((p.under_four_fraction() - 0.70).abs() < 1e-9);
+        assert!((p.one_word_fraction() - 0.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_touches_only_rates() {
+        let p = sample().scaled(2.0);
+        assert_eq!(p.rpki, 8.0);
+        assert_eq!(p.wpki, 4.0);
+        assert_eq!(p.offset_corr, 0.32);
+    }
+
+    #[test]
+    fn validate_accepts_sane_profile() {
+        sample().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "no memory traffic")]
+    fn validate_rejects_traffic_free_profile() {
+        let mut p = sample();
+        p.rpki = 0.0;
+        p.wpki = 0.0;
+        p.validate();
+    }
+}

@@ -1,0 +1,223 @@
+//! Trace recording and replay.
+//!
+//! A [`Trace`] captures a core's op stream so experiments can be rerun
+//! bit-identically, diffed across configurations, or exported for external
+//! analysis. The text format is line-oriented and versioned:
+//!
+//! ```text
+//! pcmap-trace v1
+//! C 184          # retire 184 instructions
+//! R 0x7f3a40     # read the line containing this address
+//! W 0x9c80 2c    # write-back; hex mask of dirty words
+//! ```
+
+use crate::generator::{CoreStream, StreamOp};
+use pcmap_types::{PhysAddr, WordMask};
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// A recorded op stream.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    ops: Vec<StreamOp>,
+}
+
+/// Errors from parsing a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    line: usize,
+    reason: &'static str,
+}
+
+impl core::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` ops from a generator.
+    pub fn record(gen: &mut CoreStream, n: usize) -> Self {
+        Self { ops: (0..n).map(|_| gen.next_op()).collect() }
+    }
+
+    /// Appends one op.
+    pub fn push(&mut self, op: StreamOp) {
+        self.ops.push(op);
+    }
+
+    /// The recorded ops.
+    pub fn ops(&self) -> &[StreamOp] {
+        &self.ops
+    }
+
+    /// Number of recorded ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterates over the recorded ops (replay).
+    pub fn iter(&self) -> impl Iterator<Item = &StreamOp> {
+        self.ops.iter()
+    }
+
+    /// Total memory operations (reads + writes) in the trace.
+    pub fn mem_ops(&self) -> usize {
+        self.ops.iter().filter(|o| !matches!(o, StreamOp::Compute(_))).count()
+    }
+
+    /// Serializes to the versioned text format.
+    pub fn serialize(&self) -> String {
+        let mut out = String::from("pcmap-trace v1\n");
+        for op in &self.ops {
+            match op {
+                StreamOp::Compute(n) => {
+                    let _ = writeln!(out, "C {n}");
+                }
+                StreamOp::Read(a) => {
+                    let _ = writeln!(out, "R 0x{:x}", a.0);
+                }
+                StreamOp::Write { addr, dirty } => {
+                    let _ = writeln!(out, "W 0x{:x} {:02x}", addr.0, dirty.bits());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`Trace::serialize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseTraceError`] on a bad header, unknown record tag, or
+    /// malformed field.
+    pub fn deserialize(text: &str) -> Result<Self, ParseTraceError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, h)) if h.trim() == "pcmap-trace v1" => {}
+            _ => return Err(ParseTraceError { line: 1, reason: "missing or unknown header" }),
+        }
+        let mut ops = Vec::new();
+        for (idx, line) in lines {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let tag = parts.next().unwrap_or("");
+            let err = |reason| ParseTraceError { line: idx + 1, reason };
+            match tag {
+                "C" => {
+                    let n = parts
+                        .next()
+                        .and_then(|v| u64::from_str(v).ok())
+                        .ok_or(err("bad compute count"))?;
+                    ops.push(StreamOp::Compute(n));
+                }
+                "R" => {
+                    let a = parts
+                        .next()
+                        .and_then(parse_hex)
+                        .ok_or(err("bad read address"))?;
+                    ops.push(StreamOp::Read(PhysAddr::new(a)));
+                }
+                "W" => {
+                    let a = parts
+                        .next()
+                        .and_then(parse_hex)
+                        .ok_or(err("bad write address"))?;
+                    let mask = parts
+                        .next()
+                        .and_then(|v| u16::from_str_radix(v, 16).ok())
+                        .ok_or(err("bad dirty mask"))?;
+                    ops.push(StreamOp::Write {
+                        addr: PhysAddr::new(a),
+                        dirty: WordMask::from_bits(mask),
+                    });
+                }
+                _ => return Err(err("unknown record tag")),
+            }
+        }
+        Ok(Self { ops })
+    }
+}
+
+fn parse_hex(v: &str) -> Option<u64> {
+    u64::from_str_radix(v.strip_prefix("0x")?, 16).ok()
+}
+
+impl FromIterator<StreamOp> for Trace {
+    fn from_iter<I: IntoIterator<Item = StreamOp>>(iter: I) -> Self {
+        Self { ops: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn sample() -> Trace {
+        let wl = catalog::by_name("canneal").expect("catalog workload");
+        let mut gen = CoreStream::new(&wl.per_core[0], 0, 31);
+        Trace::record(&mut gen, 500)
+    }
+
+    #[test]
+    fn record_captures_requested_count() {
+        let t = sample();
+        assert_eq!(t.len(), 500);
+        assert!(t.mem_ops() > 0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn serialize_round_trip() {
+        let t = sample();
+        let text = t.serialize();
+        let back = Trace::deserialize(&text).expect("round trip");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn deserialize_rejects_bad_header() {
+        assert!(Trace::deserialize("not-a-trace\nC 5").is_err());
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage_records() {
+        let e = Trace::deserialize("pcmap-trace v1\nX 1 2 3").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(Trace::deserialize("pcmap-trace v1\nW zz 01").is_err());
+        assert!(Trace::deserialize("pcmap-trace v1\nC notanumber").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "pcmap-trace v1\n\n# a comment\nC 10  # inline\nR 0x40\n";
+        let t = Trace::deserialize(text).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.ops()[1], StreamOp::Read(PhysAddr::new(0x40)));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: Trace = vec![StreamOp::Compute(3), StreamOp::Read(PhysAddr::new(64))]
+            .into_iter()
+            .collect();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.mem_ops(), 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Reproduces the paper's Figure 5 scheduling examples as chip-occupancy
+//! timelines: RoW (a read reconstructed during a single-word write) and
+//! WoW (three writes with disjoint essential words consolidated).
+//!
+//! Run with: `cargo run --release --example row_wow_timeline`
+
+use pcmap::core::{PcmapController, SystemKind};
+use pcmap::ctrl::{BaselineController, Controller, MemRequest, ReqId, ReqKind};
+use pcmap::types::{CoreId, Cycle, MemOrg, PhysAddr, QueueParams, TimingParams};
+
+fn write_req(ctrl: &dyn Controller, id: u64, addr: u64, words: &[usize]) -> MemRequest {
+    let org = MemOrg::tiny();
+    let a = PhysAddr::new(addr);
+    let loc = org.decode(a);
+    let old = ctrl.rank().read_line(loc.bank, loc.row, loc.col).data;
+    let mut data = old;
+    for &w in words {
+        data.set_word(w, !old.word(w));
+    }
+    MemRequest {
+        id: ReqId(id),
+        kind: ReqKind::Write { data },
+        line: a.line(),
+        loc,
+        core: CoreId(0),
+        arrival: Cycle(0),
+    }
+}
+
+fn read_req(id: u64, addr: u64, at: Cycle) -> MemRequest {
+    let org = MemOrg::tiny();
+    let a = PhysAddr::new(addr);
+    MemRequest {
+        id: ReqId(id),
+        kind: ReqKind::Read,
+        line: a.line(),
+        loc: org.decode(a),
+        core: CoreId(0),
+        arrival: at,
+    }
+}
+
+fn drive(ctrl: &mut dyn Controller, mut now: Cycle) {
+    ctrl.step(now);
+    while let Some(wake) = ctrl.next_wake(now) {
+        now = wake;
+        ctrl.step(now);
+        if now.0 > 10_000 {
+            break;
+        }
+    }
+    ctrl.settle(Cycle::MAX);
+}
+
+fn row_scenario(ctrl: &mut dyn Controller) {
+    ctrl.set_trace(true);
+    let w = write_req(ctrl, 1, 0, &[3]);
+    ctrl.enqueue_write(w, Cycle(0)).expect("queue empty");
+    ctrl.step(Cycle(0));
+    ctrl.enqueue_read(read_req(2, 64, Cycle(1)), Cycle(1)).expect("queue empty");
+    ctrl.enqueue_read(read_req(3, 128, Cycle(1)), Cycle(1)).expect("queue empty");
+    drive(ctrl, Cycle(1));
+}
+
+fn wow_scenario(ctrl: &mut dyn Controller) {
+    ctrl.set_trace(true);
+    let a = write_req(ctrl, 1, 0, &[2, 5]);
+    let b = write_req(ctrl, 2, 1024, &[3, 6]);
+    let c = write_req(ctrl, 3, 2048, &[4]);
+    ctrl.enqueue_write(a, Cycle(0)).expect("queue empty");
+    ctrl.enqueue_write(b, Cycle(0)).expect("queue empty");
+    ctrl.enqueue_write(c, Cycle(0)).expect("queue empty");
+    drive(ctrl, Cycle(0));
+}
+
+fn main() {
+    let org = MemOrg::tiny();
+    let t = TimingParams::paper_default();
+    let q = QueueParams::paper_default();
+    let bank = org.decode(PhysAddr::new(0)).bank;
+
+    println!("Chip-occupancy timelines (4 cycles per column, last label char per op)");
+    println!("rows: data chips 0-7, then the ECC and PCC chips\n");
+
+    println!("— Baseline: write A (word 3), then reads B, C serialize —");
+    let mut base = BaselineController::new(org, t, q, 0);
+    row_scenario(&mut base);
+    print!("{}", base.trace().render_gantt(bank, 4));
+
+    println!("\n— RoW: B and C reconstructed from PCC during A; verify (V) after —");
+    let mut row = PcmapController::new(SystemKind::RowNr, org, t, q, 0);
+    row.set_overlap_reads_in_normal(true);
+    row_scenario(&mut row);
+    print!("{}", row.trace().render_gantt(bank, 4));
+
+    println!("\n— Baseline: writes A{{2,5}}, B{{3,6}}, C{{4}} serialize —");
+    let mut base2 = BaselineController::new(org, t, q, 0);
+    wow_scenario(&mut base2);
+    print!("{}", base2.trace().render_gantt(bank, 4));
+
+    println!("\n— WoW (RWoW-RDE): disjoint writes consolidated; E/P = check updates —");
+    let mut wow = PcmapController::new(SystemKind::RwowRde, org, t, q, 0);
+    wow_scenario(&mut wow);
+    print!("{}", wow.trace().render_gantt(bank, 4));
+}
