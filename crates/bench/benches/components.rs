@@ -21,11 +21,17 @@ fn bench_hamming(c: &mut Criterion) {
 fn bench_line_codec(c: &mut Criterion) {
     let codec = LineCodec::new();
     let line = CacheLine::from_seed(7);
-    c.bench_function("line_ecc_word", |b| b.iter(|| codec.ecc_word(black_box(&line))));
+    c.bench_function("line_ecc_word", |b| {
+        b.iter(|| codec.ecc_word(black_box(&line)))
+    });
     let ecc = codec.ecc_word(&line);
-    c.bench_function("line_verify_clean", |b| b.iter(|| codec.verify(black_box(&line), ecc)));
+    c.bench_function("line_verify_clean", |b| {
+        b.iter(|| codec.verify(black_box(&line), ecc))
+    });
     let pcc = codec.pcc_word(&line);
-    c.bench_function("line_reconstruct", |b| b.iter(|| codec.reconstruct(black_box(&line), 3, pcc)));
+    c.bench_function("line_reconstruct", |b| {
+        b.iter(|| codec.reconstruct(black_box(&line), 3, pcc))
+    });
 }
 
 fn bench_layout(c: &mut Criterion) {

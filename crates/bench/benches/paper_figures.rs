@@ -11,7 +11,10 @@ use pcmap_types::TimingParams;
 use pcmap_workloads::catalog;
 
 fn tiny() -> EvalScale {
-    EvalScale { requests: 1_500, full_mt: false }
+    EvalScale {
+        requests: 1_500,
+        full_mt: false,
+    }
 }
 
 fn bench_fig1(c: &mut Criterion) {

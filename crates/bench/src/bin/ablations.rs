@@ -11,7 +11,10 @@ fn run(cfg: SimConfig, wl: &catalog::Workload) -> f64 {
 }
 
 fn main() {
-    let requests: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12_000);
+    let requests: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12_000);
     let wl = catalog::by_name("canneal").expect("catalog workload");
 
     println!("Ablations (canneal, {requests} requests, RWoW-RDE unless noted)\n");
@@ -22,7 +25,10 @@ fn main() {
         let mut cfg = SimConfig::paper_default(SystemKind::RwowRde).with_requests(requests);
         cfg.queues.drain_high = high;
         cfg.queues.drain_low = 0.2;
-        t.row(&[format!("{:.0}", high * 100.0), format!("{:.3}", run(cfg, &wl))]);
+        t.row(&[
+            format!("{:.0}", high * 100.0),
+            format!("{:.3}", run(cfg, &wl)),
+        ]);
     }
     println!("ablation_drain — write-drain high watermark:");
     println!("{}", t.render());
@@ -33,7 +39,11 @@ fn main() {
         let mut cfg = SimConfig::paper_default(SystemKind::RwowRde).with_requests(requests);
         cfg.queues.read_q = rq;
         cfg.cpu.mlp = mlp;
-        t.row(&[rq.to_string(), mlp.to_string(), format!("{:.3}", run(cfg, &wl))]);
+        t.row(&[
+            rq.to_string(),
+            mlp.to_string(),
+            format!("{:.3}", run(cfg, &wl)),
+        ]);
     }
     println!("ablation_queues — read queue depth and MLP window:");
     println!("{}", t.render());
@@ -46,8 +56,14 @@ fn main() {
         for p in &mut wl2.per_core {
             p.offset_corr = corr;
         }
-        let nr = run(SimConfig::paper_default(SystemKind::RwowNr).with_requests(requests), &wl2);
-        let rde = run(SimConfig::paper_default(SystemKind::RwowRde).with_requests(requests), &wl2);
+        let nr = run(
+            SimConfig::paper_default(SystemKind::RwowNr).with_requests(requests),
+            &wl2,
+        );
+        let rde = run(
+            SimConfig::paper_default(SystemKind::RwowRde).with_requests(requests),
+            &wl2,
+        );
         t.row(&[
             format!("{corr:.2}"),
             format!("{nr:.3}"),
@@ -188,6 +204,9 @@ fn main() {
             .with_rollback(RollbackMode::AlwaysFaulty),
         &wl,
     );
-    let clean = run(SimConfig::paper_default(SystemKind::RwowRde).with_requests(requests), &wl);
+    let clean = run(
+        SimConfig::paper_default(SystemKind::RwowRde).with_requests(requests),
+        &wl,
+    );
     println!("ablation_rollback — always-faulty {faulty:.3} vs none-faulty {clean:.3} IPC");
 }

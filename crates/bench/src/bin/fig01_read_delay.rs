@@ -10,7 +10,11 @@ fn main() {
     let rows = fig1(scale);
     let mut t = TableBuilder::new(&["workload", "reads delayed [%]", "norm. read latency (x)"]);
     for r in &rows {
-        t.row(&[r.workload.clone(), format!("{:.1}", r.delayed_pct), format!("{:.2}", r.norm_read_latency)]);
+        t.row(&[
+            r.workload.clone(),
+            format!("{:.1}", r.delayed_pct),
+            format!("{:.2}", r.norm_read_latency),
+        ]);
     }
     println!("Figure 1 — read-delay impact of asymmetric PCM writes (baseline system)");
     println!("Paper: 11.5-38.1% of reads delayed; 1.2-1.8x effective latency.\n");

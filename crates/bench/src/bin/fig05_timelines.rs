@@ -6,7 +6,13 @@
 
 use pcmap_core::{PcmapController, SystemKind};
 use pcmap_ctrl::{BaselineController, Controller, MemRequest, ReqId, ReqKind};
+use pcmap_obs::ChipTrace;
 use pcmap_types::{CoreId, Cycle, MemOrg, PhysAddr, QueueParams, TimingParams};
+
+/// Renders the chip-timeline Gantt from a controller's event stream.
+fn gantt(ctrl: &dyn Controller, bank: pcmap_types::BankId) -> String {
+    ChipTrace::from_events(ctrl.events()).render_gantt(bank, 4)
+}
 
 fn write_req(ctrl: &dyn Controller, id: u64, addr: u64, words: &[usize]) -> MemRequest {
     let org = MemOrg::tiny();
@@ -17,13 +23,27 @@ fn write_req(ctrl: &dyn Controller, id: u64, addr: u64, words: &[usize]) -> MemR
     for &w in words {
         data.set_word(w, !old.word(w));
     }
-    MemRequest { id: ReqId(id), kind: ReqKind::Write { data }, line: a.line(), loc, core: CoreId(0), arrival: Cycle(0) }
+    MemRequest {
+        id: ReqId(id),
+        kind: ReqKind::Write { data },
+        line: a.line(),
+        loc,
+        core: CoreId(0),
+        arrival: Cycle(0),
+    }
 }
 
 fn read_req(id: u64, addr: u64, at: Cycle) -> MemRequest {
     let org = MemOrg::tiny();
     let a = PhysAddr::new(addr);
-    MemRequest { id: ReqId(id), kind: ReqKind::Read, line: a.line(), loc: org.decode(a), core: CoreId(0), arrival: at }
+    MemRequest {
+        id: ReqId(id),
+        kind: ReqKind::Read,
+        line: a.line(),
+        loc: org.decode(a),
+        core: CoreId(0),
+        arrival: at,
+    }
 }
 
 fn drive(ctrl: &mut dyn Controller, mut now: Cycle) {
@@ -43,8 +63,10 @@ fn scenario_row(ctrl: &mut dyn Controller) {
     let w = write_req(ctrl, 1, 0, &[3]);
     ctrl.enqueue_write(w, Cycle(0)).unwrap();
     ctrl.step(Cycle(0));
-    ctrl.enqueue_read(read_req(2, 64, Cycle(1)), Cycle(1)).unwrap();
-    ctrl.enqueue_read(read_req(3, 128, Cycle(1)), Cycle(1)).unwrap();
+    ctrl.enqueue_read(read_req(2, 64, Cycle(1)), Cycle(1))
+        .unwrap();
+    ctrl.enqueue_read(read_req(3, 128, Cycle(1)), Cycle(1))
+        .unwrap();
     drive(ctrl, Cycle(1));
 }
 
@@ -70,20 +92,20 @@ fn main() {
     println!("(a) Baseline: write A then reads B, C (all serialized)");
     let mut base = BaselineController::new(org, t, q, 0);
     scenario_row(&mut base);
-    print!("{}", base.trace().render_gantt(bank, 4));
+    print!("{}", gantt(&base, bank));
 
     println!("\n(b) RoW: reads B, C reconstructed during write A (verify after)");
     let mut row = PcmapController::new(SystemKind::RowNr, org, t, q, 0);
     scenario_row(&mut row);
-    print!("{}", row.trace().render_gantt(bank, 4));
+    print!("{}", gantt(&row, bank));
 
     println!("\n(c) Baseline: three writes serialized");
     let mut base2 = BaselineController::new(org, t, q, 0);
     scenario_wow(&mut base2);
-    print!("{}", base2.trace().render_gantt(bank, 4));
+    print!("{}", gantt(&base2, bank));
 
     println!("\n(d) WoW (RWoW-RDE): disjoint writes consolidated");
     let mut wow = PcmapController::new(SystemKind::RwowRde, org, t, q, 0);
     scenario_wow(&mut wow);
-    print!("{}", wow.trace().render_gantt(bank, 4));
+    print!("{}", gantt(&wow, bank));
 }

@@ -8,5 +8,8 @@ fn main() {
     println!("Figure 9 — write throughput, normalized to baseline");
     println!("Paper: >1.2x for 5 of 12 workloads under the full design.\n");
     let kinds = SystemKind::all();
-    print!("{}", render_metric_normalized(&rows, &kinds[1..], |r| r.write_throughput));
+    print!(
+        "{}",
+        render_metric_normalized(&rows, &kinds[1..], |r| r.write_throughput)
+    );
 }

@@ -6,7 +6,10 @@ use pcmap_sim::{SimConfig, System, TableBuilder};
 use pcmap_workloads::catalog;
 
 fn main() {
-    let requests: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12_000);
+    let requests: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12_000);
     let wl = catalog::by_name("canneal").expect("catalog workload");
     println!("Lifetime & energy (canneal, {requests} requests)\n");
     println!("wear imbalance = hottest chip's writes / mean (1.0 = perfectly level);");

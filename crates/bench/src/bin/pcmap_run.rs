@@ -3,12 +3,18 @@
 //! ```text
 //! pcmap_run [--workload NAME] [--system KIND] [--requests N]
 //!           [--ratio R] [--seed S] [--rollback faulty|clean] [--all]
+//!           [--json PATH] [--csv PATH]
 //! ```
 //!
 //! `KIND` is one of `baseline`, `row-nr`, `wow-nr`, `rwow-nr`, `rwow-rd`,
 //! `rwow-rde`; `--all` runs every system and prints a comparison table.
+//! `--json PATH` additionally writes the full telemetry of every run
+//! (per-channel counters, latency percentiles, IRLP, stall breakdown,
+//! windowed series) as a JSON array; `--csv PATH` writes the comparison
+//! table as CSV.
 
 use pcmap_core::{RollbackMode, SystemKind};
+use pcmap_obs::Value;
 use pcmap_sim::{RunReport, SimConfig, System, TableBuilder};
 use pcmap_types::TimingParams;
 use pcmap_workloads::catalog;
@@ -21,12 +27,17 @@ struct Args {
     seed: u64,
     rollback: RollbackMode,
     all: bool,
+    json: Option<String>,
+    csv: Option<String>,
 }
 
 fn parse_system(v: &str) -> Option<SystemKind> {
     SystemKind::all()
         .into_iter()
-        .find(|k| k.label().eq_ignore_ascii_case(v) || k.label().replace("oW-", "ow-").eq_ignore_ascii_case(v))
+        .find(|k| {
+            k.label().eq_ignore_ascii_case(v)
+                || k.label().replace("oW-", "ow-").eq_ignore_ascii_case(v)
+        })
         .or_else(|| match v.to_ascii_lowercase().as_str() {
             "baseline" => Some(SystemKind::Baseline),
             "row-nr" | "row" => Some(SystemKind::RowNr),
@@ -47,6 +58,8 @@ fn parse_args() -> Result<Args, String> {
         seed: 0xC0FFEE,
         rollback: RollbackMode::NeverFaulty,
         all: false,
+        json: None,
+        csv: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,14 +71,22 @@ fn parse_args() -> Result<Args, String> {
                 args.system = parse_system(&v).ok_or(format!("unknown system '{v}'"))?;
             }
             "--requests" | "-n" => {
-                args.requests =
-                    value("--requests")?.parse().map_err(|e| format!("bad count: {e}"))?;
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("bad count: {e}"))?;
             }
             "--ratio" | "-r" => {
-                args.ratio =
-                    Some(value("--ratio")?.parse().map_err(|e| format!("bad ratio: {e}"))?);
+                args.ratio = Some(
+                    value("--ratio")?
+                        .parse()
+                        .map_err(|e| format!("bad ratio: {e}"))?,
+                );
             }
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
             "--rollback" => {
                 args.rollback = match value("--rollback")?.as_str() {
                     "faulty" => RollbackMode::AlwaysFaulty,
@@ -74,10 +95,13 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--all" | "-a" => args.all = true,
+            "--json" => args.json = Some(value("--json")?),
+            "--csv" => args.csv = Some(value("--csv")?),
             "--help" | "-h" => {
                 println!(
                     "usage: pcmap_run [--workload NAME] [--system KIND] [--requests N] \
-                     [--ratio R] [--seed S] [--rollback faulty|clean] [--all]"
+                     [--ratio R] [--seed S] [--rollback faulty|clean] [--all] \
+                     [--json PATH] [--csv PATH]"
                 );
                 std::process::exit(0);
             }
@@ -89,7 +113,10 @@ fn parse_args() -> Result<Args, String> {
 
 fn run(args: &Args, kind: SystemKind) -> RunReport {
     let wl = catalog::by_name(&args.workload).unwrap_or_else(|| {
-        eprintln!("unknown workload '{}'; known: canneal, dedup, ..., MP1-MP6, SPEC names, stream", args.workload);
+        eprintln!(
+            "unknown workload '{}'; known: canneal, dedup, ..., MP1-MP6, SPEC names, stream",
+            args.workload
+        );
         std::process::exit(2);
     });
     let mut cfg = SimConfig::paper_default(kind)
@@ -111,8 +138,11 @@ fn main() {
         }
     };
 
-    let kinds: Vec<SystemKind> =
-        if args.all { SystemKind::all().to_vec() } else { vec![args.system] };
+    let kinds: Vec<SystemKind> = if args.all {
+        SystemKind::all().to_vec()
+    } else {
+        vec![args.system]
+    };
 
     let mut t = TableBuilder::new(&[
         "system",
@@ -124,6 +154,7 @@ fn main() {
         "WoW overlaps",
         "rollbacks",
     ]);
+    let mut reports = Vec::new();
     for kind in kinds {
         let r = run(&args, kind);
         t.row(&[
@@ -136,13 +167,36 @@ fn main() {
             r.wow_overlaps.to_string(),
             r.rollbacks.to_string(),
         ]);
+        reports.push(r);
     }
     println!(
         "workload {} · {} requests · seed {:#x}{}",
         args.workload,
         args.requests,
         args.seed,
-        args.ratio.map(|r| format!(" · write:read {r}x")).unwrap_or_default()
+        args.ratio
+            .map(|r| format!(" · write:read {r}x"))
+            .unwrap_or_default()
     );
     print!("{}", t.render());
+
+    if let Some(path) = &args.json {
+        let arr = Value::Arr(reports.iter().map(RunReport::to_json).collect());
+        match pcmap_obs::export::write_json(path, &arr) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &args.csv {
+        match pcmap_obs::export::write_text(path, &t.to_csv()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

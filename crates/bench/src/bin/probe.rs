@@ -3,15 +3,21 @@ use pcmap_sim::{SimConfig, System};
 use pcmap_workloads::catalog;
 
 fn main() {
-    let n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8000);
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8000);
     let wl_name = std::env::args().nth(2).unwrap_or_else(|| "canneal".into());
     let wl = catalog::by_name(&wl_name).unwrap();
     println!("workload={} requests={}", wl.name, n);
     for kind in SystemKind::all() {
         let mut cfg = SimConfig::paper_default(kind).with_requests(n);
-        if let Ok(m) = std::env::var("PCMAP_MLP") { cfg.cpu.mlp = m.parse().unwrap(); }
+        if let Ok(m) = std::env::var("PCMAP_MLP") {
+            cfg.cpu.mlp = m.parse().unwrap();
+        }
         let sys = System::new(cfg, wl.clone());
-        let drains_probe = 0u64; let _ = drains_probe;
+        let drains_probe = 0u64;
+        let _ = drains_probe;
         let r = sys.run();
         println!(
             "{:9}: ipc={:.3} rdlat={:6.1} irlp={:.2}/{:.2} wtput={:.3} delayed={:.2} row={} wow={} cyc={} ess={:.2}",
@@ -19,8 +25,18 @@ fn main() {
             r.write_throughput, r.delayed_read_fraction, r.reads_via_row, r.wow_overlaps,
             r.mem_cycles, r.mean_essential_words
         );
-        println!("           blocked_multi={} blocked_pcc={} wr_blk(d/e/p)={}/{}/{} deferred={}",
-            r.row_blocked_multi, r.row_blocked_pcc, r.wr_blocked.0, r.wr_blocked.1, r.wr_blocked.2, r.reads_deferred_only);
-        println!("           drains={} rdlat p50/p95/p99 = {}/{}/{}", r.drains, r.p50_read_latency, r.p95_read_latency, r.p99_read_latency);
+        println!(
+            "           blocked_multi={} blocked_pcc={} wr_blk(d/e/p)={}/{}/{} deferred={}",
+            r.row_blocked_multi,
+            r.row_blocked_pcc,
+            r.wr_blocked.0,
+            r.wr_blocked.1,
+            r.wr_blocked.2,
+            r.reads_deferred_only
+        );
+        println!(
+            "           drains={} rdlat p50/p95/p99 = {}/{}/{}",
+            r.drains, r.p50_read_latency, r.p95_read_latency, r.p99_read_latency
+        );
     }
 }

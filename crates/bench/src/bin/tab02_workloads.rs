@@ -25,13 +25,25 @@ fn measure(w: &catalog::Workload) -> (f64, f64) {
         }
         insts += local;
     }
-    (reads as f64 * 1000.0 / insts as f64, writes as f64 * 1000.0 / insts as f64)
+    (
+        reads as f64 * 1000.0 / insts as f64,
+        writes as f64 * 1000.0 / insts as f64,
+    )
 }
 
 fn main() {
     println!("Table II — workload characterization\n");
-    let mut t = TableBuilder::new(&["workload", "RPKI (paper)", "RPKI (measured)", "WPKI (paper)", "WPKI (measured)"]);
-    for w in catalog::mt_selected().into_iter().chain(catalog::mp_workloads()) {
+    let mut t = TableBuilder::new(&[
+        "workload",
+        "RPKI (paper)",
+        "RPKI (measured)",
+        "WPKI (paper)",
+        "WPKI (measured)",
+    ]);
+    for w in catalog::mt_selected()
+        .into_iter()
+        .chain(catalog::mp_workloads())
+    {
         let (r, wr) = measure(&w);
         t.row(&[
             w.name.clone(),

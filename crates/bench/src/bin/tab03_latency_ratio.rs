@@ -17,7 +17,11 @@ fn main() {
     println!("Paper: RWoW-RDE 16.6→24.3%; RWoW-NR 11.3→24.7% as ratio goes 2x→8x.\n");
     let mut t = TableBuilder::new(&["write:read", "RWoW-RDE [%]", "RWoW-NR [%]"]);
     for r in &rows {
-        t.row(&[format!("{}x", r.ratio), format!("{:+.1}", r.rwow_rde_pct), format!("{:+.1}", r.rwow_nr_pct)]);
+        t.row(&[
+            format!("{}x", r.ratio),
+            format!("{:+.1}", r.rwow_rde_pct),
+            format!("{:+.1}", r.rwow_nr_pct),
+        ]);
     }
     print!("{}", t.render());
 }

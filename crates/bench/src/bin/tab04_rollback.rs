@@ -1,7 +1,12 @@
 //! Table IV: cost of RoW rollbacks — IPC improvement under the
 //! always-faulty bound vs the none-faulty bound.
+//!
+//! Also writes `results/tab04_rollback.json` (rows plus the full telemetry
+//! of each always-faulty run, including its rollback rate) and
+//! `results/tab04_rollback.csv`.
 
-use pcmap_bench::scale_from_args;
+use pcmap_bench::{scale_from_args, write_csv_result, write_json_result};
+use pcmap_obs::Value;
 use pcmap_sim::experiments::tab4;
 use pcmap_sim::TableBuilder;
 
@@ -24,4 +29,32 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
+
+    let mut out = Value::obj();
+    out.set("table", Value::Str("tab04_rollback".into()));
+    out.set(
+        "rows",
+        Value::Arr(
+            rows.iter()
+                .map(|r| {
+                    let mut o = Value::obj();
+                    o.set("workload", Value::Str(r.workload.clone()));
+                    o.set("max_rollback_pct", Value::F64(r.max_rollback_pct));
+                    o.set("faulty_imp_pct", Value::F64(r.faulty_imp_pct));
+                    o.set("none_faulty_imp_pct", Value::F64(r.none_faulty_imp_pct));
+                    o.set("faulty_report", r.faulty_report.to_json());
+                    o
+                })
+                .collect(),
+        ),
+    );
+    for res in [
+        write_json_result("results/tab04_rollback.json", &out),
+        write_csv_result("results/tab04_rollback.csv", &t),
+    ] {
+        match res {
+            Ok(path) => println!("wrote {path}"),
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
 }

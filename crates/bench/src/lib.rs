@@ -7,6 +7,7 @@
 #![warn(missing_docs)]
 
 use pcmap_core::SystemKind;
+use pcmap_obs::Value;
 use pcmap_sim::experiments::{evaluate_matrix, EvalScale, WorkloadEval};
 use pcmap_sim::{RunReport, TableBuilder};
 
@@ -34,39 +35,54 @@ pub fn matrix_with_averages(scale: EvalScale) -> Vec<WorkloadEval> {
                 let mut proto: RunReport = group[0].reports[i].clone();
                 proto.kind = k;
                 proto.workload = name.to_owned();
-                proto.irlp_mean =
-                    group.iter().map(|g| g.reports[i].irlp_mean).sum::<f64>() / n;
-                proto.irlp_max =
-                    group.iter().map(|g| g.reports[i].irlp_max).fold(0.0, f64::max);
-                proto.mean_read_latency =
-                    group.iter().map(|g| g.reports[i].mean_read_latency).sum::<f64>() / n;
-                proto.write_throughput =
-                    group.iter().map(|g| g.reports[i].write_throughput).sum::<f64>() / n;
+                proto.irlp_mean = group.iter().map(|g| g.reports[i].irlp_mean).sum::<f64>() / n;
+                proto.irlp_max = group
+                    .iter()
+                    .map(|g| g.reports[i].irlp_max)
+                    .fold(0.0, f64::max);
+                proto.mean_read_latency = group
+                    .iter()
+                    .map(|g| g.reports[i].mean_read_latency)
+                    .sum::<f64>()
+                    / n;
+                proto.write_throughput = group
+                    .iter()
+                    .map(|g| g.reports[i].write_throughput)
+                    .sum::<f64>()
+                    / n;
                 // Aggregate IPC via totals.
                 proto.instructions = group.iter().map(|g| g.reports[i].instructions).sum();
                 proto.cpu_cycles = group.iter().map(|g| g.reports[i].cpu_cycles).sum();
                 proto
             })
             .collect();
-        WorkloadEval { name: name.to_owned(), multi_threaded: mt, reports }
+        WorkloadEval {
+            name: name.to_owned(),
+            multi_threaded: mt,
+            reports,
+        }
     };
     let avg_mt = avg(&rows, true, "Average(MT)");
     let avg_mp = avg(&rows, false, "Average(MP)");
     // Insert Average(MT) after the MT rows, Average(MP) at the end.
-    let mp_start = rows.iter().position(|r| !r.multi_threaded).unwrap_or(rows.len());
+    let mp_start = rows
+        .iter()
+        .position(|r| !r.multi_threaded)
+        .unwrap_or(rows.len());
     rows.insert(mp_start, avg_mt);
     rows.push(avg_mp);
     rows
 }
 
-/// Renders one metric of the matrix as a paper-style table: one row per
-/// workload, one column per system.
-pub fn render_metric<F: Fn(&RunReport) -> f64>(
+/// Builds one metric of the matrix as a paper-style table: one row per
+/// workload, one column per system. Render it as text
+/// ([`TableBuilder::render`]) or CSV ([`TableBuilder::to_csv`]).
+pub fn metric_table<F: Fn(&RunReport) -> f64>(
     rows: &[WorkloadEval],
     kinds: &[SystemKind],
     metric: F,
     decimals: usize,
-) -> String {
+) -> TableBuilder {
     let mut headers = vec!["workload"];
     let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
     headers.extend(labels.iter().copied());
@@ -78,15 +94,15 @@ pub fn render_metric<F: Fn(&RunReport) -> f64>(
         }
         t.row(&cells);
     }
-    t.render()
+    t
 }
 
-/// Renders a metric normalized to the baseline system.
-pub fn render_metric_normalized<F: Fn(&RunReport) -> f64>(
+/// Builds a metric table normalized to the baseline system.
+pub fn metric_table_normalized<F: Fn(&RunReport) -> f64>(
     rows: &[WorkloadEval],
     kinds: &[SystemKind],
     metric: F,
-) -> String {
+) -> TableBuilder {
     let mut headers = vec!["workload"];
     let labels: Vec<&str> = kinds.iter().map(|k| k.label()).collect();
     headers.extend(labels.iter().copied());
@@ -96,11 +112,69 @@ pub fn render_metric_normalized<F: Fn(&RunReport) -> f64>(
         let mut cells = vec![row.name.clone()];
         for &k in kinds {
             let v = metric(row.report(k));
-            cells.push(if base == 0.0 { "-".into() } else { format!("{:.3}", v / base) });
+            cells.push(if base == 0.0 {
+                "-".into()
+            } else {
+                format!("{:.3}", v / base)
+            });
         }
         t.row(&cells);
     }
-    t.render()
+    t
+}
+
+/// Renders one metric of the matrix as a paper-style table: one row per
+/// workload, one column per system.
+pub fn render_metric<F: Fn(&RunReport) -> f64>(
+    rows: &[WorkloadEval],
+    kinds: &[SystemKind],
+    metric: F,
+    decimals: usize,
+) -> String {
+    metric_table(rows, kinds, metric, decimals).render()
+}
+
+/// Renders a metric normalized to the baseline system.
+pub fn render_metric_normalized<F: Fn(&RunReport) -> f64>(
+    rows: &[WorkloadEval],
+    kinds: &[SystemKind],
+    metric: F,
+) -> String {
+    metric_table_normalized(rows, kinds, metric).render()
+}
+
+/// JSON array for an evaluation matrix: one object per workload carrying
+/// the full [`RunReport::to_json`] telemetry of every system (per-channel
+/// counters, latency percentiles, IRLP, rollback rate, ...).
+pub fn matrix_json(rows: &[WorkloadEval]) -> Value {
+    Value::Arr(
+        rows.iter()
+            .map(|row| {
+                let mut o = Value::obj();
+                o.set("workload", Value::Str(row.name.clone()));
+                o.set("multi_threaded", Value::Bool(row.multi_threaded));
+                let mut reports = Value::obj();
+                for r in &row.reports {
+                    reports.set(r.kind.label(), r.to_json());
+                }
+                o.set("reports", reports);
+                o
+            })
+            .collect(),
+    )
+}
+
+/// Writes a JSON result under `results/` (or any path), creating parent
+/// directories; returns the path for the caller to report.
+pub fn write_json_result<'p>(path: &'p str, value: &Value) -> std::io::Result<&'p str> {
+    pcmap_obs::export::write_json(path, value)?;
+    Ok(path)
+}
+
+/// Writes a table as CSV, creating parent directories; returns the path.
+pub fn write_csv_result<'p>(path: &'p str, table: &TableBuilder) -> std::io::Result<&'p str> {
+    pcmap_obs::export::write_text(path, &table.to_csv())?;
+    Ok(path)
 }
 
 #[cfg(test)]

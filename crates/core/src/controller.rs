@@ -34,9 +34,9 @@ use pcmap_ctrl::controller::{Controller, CtrlCore};
 use pcmap_ctrl::op;
 use pcmap_ctrl::request::{Completion, MemRequest, ReqId, ReqKind};
 use pcmap_ctrl::stats::CtrlStats;
-use pcmap_ctrl::trace::ChipTrace;
 use pcmap_ctrl::BusDir;
 use pcmap_device::PcmRank;
+use pcmap_obs::{Event, EventKind, EventLog, EventSink};
 use pcmap_types::{
     BankId, ChipId, ChipSet, Cycle, Duration, MemOrg, QueueParams, TimingParams, WordMask,
 };
@@ -82,7 +82,10 @@ impl PcmapController {
     /// Panics if `kind` is [`SystemKind::Baseline`]; use
     /// [`pcmap_ctrl::BaselineController`] for that system.
     pub fn new(kind: SystemKind, org: MemOrg, t: TimingParams, q: QueueParams, seed: u64) -> Self {
-        assert!(!kind.is_baseline(), "use BaselineController for the baseline system");
+        assert!(
+            !kind.is_baseline(),
+            "use BaselineController for the baseline system"
+        );
         let status_poll = Duration(t.status_cmd);
         Self {
             core: CtrlCore::new(org, t, q, seed),
@@ -124,7 +127,9 @@ impl PcmapController {
     }
 
     fn has_inflight(&self, bank: BankId, now: Cycle) -> bool {
-        self.inflight.iter().any(|w| w.bank == bank && w.data_end > now)
+        self.inflight
+            .iter()
+            .any(|w| w.bank == bank && w.data_end > now)
     }
 
     fn prune_inflight(&mut self, now: Cycle) {
@@ -160,8 +165,14 @@ impl PcmapController {
                 skipped_lines.push(req.line);
                 continue;
             }
-            let start = if overlapping { now + self.status_poll } else { now };
-            let ReqKind::Write { data } = req.kind else { continue };
+            let start = if overlapping {
+                now + self.status_poll
+            } else {
+                now
+            };
+            let ReqKind::Write { data } = req.kind else {
+                continue;
+            };
 
             // Peek the essential set without mutating storage.
             let stored = self.core.rank.read_line(bank, req.loc.row, req.loc.col);
@@ -170,8 +181,12 @@ impl PcmapController {
             if mask.is_empty() {
                 // Silent store — or the tail of a split write whose words
                 // have all landed.
-                self.core.write_qs[bank.index()].remove(id).expect("still queued");
-                self.core.rank.write_words(bank, req.loc.row, req.loc.col, data, mask);
+                self.core.write_qs[bank.index()]
+                    .remove(id)
+                    .expect("still queued");
+                self.core
+                    .rank
+                    .write_words(bank, req.loc.row, req.loc.col, data, mask);
                 if let Some(pos) = self.split_in_progress.iter().position(|&r| r == id) {
                     self.split_in_progress.swap_remove(pos);
                 } else {
@@ -219,7 +234,10 @@ impl PcmapController {
                 continue;
             }
             let pcc_chip = self.layout.pcc_chip(req.line);
-            if !timing.chip(bank, pcc_chip).is_free_during(worst_end, worst_end + upd) {
+            if !timing
+                .chip(bank, pcc_chip)
+                .is_free_during(worst_end, worst_end + upd)
+            {
                 self.core.stats.wr_blocked_pcc += 1;
                 skipped_lines.push(req.line);
                 continue;
@@ -250,14 +268,21 @@ impl PcmapController {
         split_of: Option<usize>,
         out: &mut Vec<Completion>,
     ) {
-        let ReqKind::Write { data } = req.kind else { unreachable!("checked by caller") };
+        let ReqKind::Write { data } = req.kind else {
+            unreachable!("checked by caller")
+        };
         let bank = req.loc.bank;
         let partial = split_of.is_some();
         if !partial {
-            self.core.write_qs[bank.index()].remove(req.id).expect("write still queued");
+            self.core.write_qs[bank.index()]
+                .remove(req.id)
+                .expect("write still queued");
         }
 
-        let outcome = self.core.rank.write_words(bank, req.loc.row, req.loc.col, data, mask);
+        let outcome = self
+            .core
+            .rank
+            .write_words(bank, req.loc.row, req.loc.col, data, mask);
         debug_assert_eq!(outcome.essential, mask);
         match split_of {
             None => {
@@ -280,6 +305,12 @@ impl PcmapController {
         if overlapping {
             self.core.stats.wow_overlaps += 1;
         }
+        self.core.events.record(Event {
+            at: start,
+            req: req.id.0,
+            bank,
+            kind: EventKind::Issue { is_write: true },
+        });
 
         // Step 1: data chips + ECC chip.
         let upd = op::check_chip_write_occupancy(&self.core.t);
@@ -287,21 +318,34 @@ impl PcmapController {
         for w in outcome.essential.iter() {
             let chip = self.layout.chip_of_word(req.line, w);
             let end = program_start + outcome.kinds[w].duration(&self.core.t);
-            self.core.rank.timing_mut().reserve(bank, ChipSet::single(chip.index()), start, end);
+            self.core
+                .rank
+                .timing_mut()
+                .reserve(bank, ChipSet::single(chip.index()), start, end);
             self.core.stats.irlp.record_segment(bank, start, end);
-            self.core.rank.wear_mut().record(chip, outcome.bits_per_word[w]);
-            if self.core.trace.is_enabled() {
-                self.core.trace.record(bank, chip, start, end, &format!("Wr-{}", req.id.0));
-            }
+            self.core
+                .rank
+                .wear_mut()
+                .record(chip, outcome.bits_per_word[w]);
+            self.core
+                .events
+                .chip_occupy(req.id.0, bank, chip, start, end, || {
+                    format!("Wr-{}", req.id.0)
+                });
         }
         let ecc_chip = self.layout.ecc_chip(req.line);
         let ecc_end = start + upd;
-        self.core.rank.timing_mut().reserve(bank, ChipSet::single(ecc_chip.index()), start, ecc_end);
+        self.core.rank.timing_mut().reserve(
+            bank,
+            ChipSet::single(ecc_chip.index()),
+            start,
+            ecc_end,
+        );
         self.core.rank.wear_mut().record(ecc_chip, 8);
         self.core.rank.energy_mut().record_write(4, 4);
-        if self.core.trace.is_enabled() {
-            self.core.trace.record(bank, ecc_chip, start, ecc_end, "E");
-        }
+        self.core
+            .events
+            .chip_occupy(req.id.0, bank, ecc_chip, start, ecc_end, || "E".to_owned());
 
         // Step 2: PCC update immediately after the data phase.
         let pcc_chip = self.layout.pcc_chip(req.line);
@@ -314,9 +358,11 @@ impl PcmapController {
         );
         self.core.rank.wear_mut().record(pcc_chip, 8);
         self.core.rank.energy_mut().record_write(4, 4);
-        if self.core.trace.is_enabled() {
-            self.core.trace.record(bank, pcc_chip, data_end, pcc_end, "P");
-        }
+        self.core
+            .events
+            .chip_occupy(req.id.0, bank, pcc_chip, data_end, pcc_end, || {
+                "P".to_owned()
+            });
 
         let done = pcc_end;
         self.core.stats.irlp.open_window(bank, start, data_end);
@@ -333,10 +379,18 @@ impl PcmapController {
         done: Cycle,
         out: &mut Vec<Completion>,
     ) {
-        self.core.stats.writes_done += 1;
-        self.core.stats.last_write_done = self.core.stats.last_write_done.max(done);
+        self.core.stats.record_write_done(done);
         let lw = &mut self.core.last_write_end[bank.index()];
         *lw = (*lw).max(done);
+        self.core.events.record(Event {
+            at: done,
+            req: req.id.0,
+            bank,
+            kind: EventKind::Complete {
+                is_write: true,
+                latency: done.since(req.arrival),
+            },
+        });
         out.push(Completion {
             id: req.id,
             core: req.core,
@@ -364,7 +418,12 @@ impl PcmapController {
     ) -> Option<Completion> {
         let ids: Vec<ReqId> = self.core.read_q.iter().map(|r| r.id).collect();
         for id in ids {
-            let req = *self.core.read_q.iter().find(|r| r.id == id).expect("still queued");
+            let req = *self
+                .core
+                .read_q
+                .iter()
+                .find(|r| r.id == id)
+                .expect("still queued");
             let bank = req.loc.bank;
             let bus_write_mode = self.core.any_draining();
             let overlapping = self.has_inflight(bank, now);
@@ -376,7 +435,11 @@ impl PcmapController {
             if !plain_ok && !overlap_ok {
                 continue;
             }
-            let start = if overlapping { now + self.status_poll } else { now };
+            let start = if overlapping {
+                now + self.status_poll
+            } else {
+                now
+            };
             let word_chips = self.layout.word_chips(req.line);
             let ecc_chip = self.layout.ecc_chip(req.line);
             let pcc_chip = self.layout.pcc_chip(req.line);
@@ -394,8 +457,10 @@ impl PcmapController {
                 .chips_needing_activate(bank, row_set, req.loc.row)
                 .is_empty();
             let to_transfer = op::read_latency_to_transfer(row_hit, &self.core.t);
-            let transfer =
-                self.core.bus.next_slot(BusDir::Read, start + to_transfer, &self.core.t);
+            let transfer = self
+                .core
+                .bus
+                .next_slot(BusDir::Read, start + to_transfer, &self.core.t);
             let data_ready = transfer + Duration(self.core.t.burst);
 
             let timing = self.core.rank.timing();
@@ -403,8 +468,12 @@ impl PcmapController {
                 .chips()
                 .filter(|&c| !timing.chip(bank, c).is_free_during(start, data_ready))
                 .collect();
-            let ecc_free = timing.chip(bank, ecc_chip).is_free_during(start, data_ready);
-            let pcc_free = timing.chip(bank, pcc_chip).is_free_during(start, data_ready);
+            let ecc_free = timing
+                .chip(bank, ecc_chip)
+                .is_free_during(start, data_ready);
+            let pcc_free = timing
+                .chip(bank, pcc_chip)
+                .is_free_during(start, data_ready);
 
             match busy_words.len() {
                 0 if ecc_free && (plain_ok || overlap_ok) => {
@@ -481,6 +550,12 @@ impl PcmapController {
     ) -> Completion {
         self.core.read_q.remove(req.id).expect("read still queued");
         let bank = req.loc.bank;
+        self.core.events.record(Event {
+            at: start,
+            req: req.id.0,
+            bank,
+            kind: EventKind::Issue { is_write: false },
+        });
 
         // Commit bus and chips (data_ready was computed from next_slot, so
         // this reserve lands exactly there).
@@ -490,11 +565,20 @@ impl PcmapController {
             &self.core.t,
         );
         debug_assert_eq!(transfer + Duration(self.core.t.burst), data_ready);
-        self.core.rank.timing_mut().reserve(bank, read_set, start, data_ready);
-        self.core.rank.timing_mut().open_row(bank, read_set, req.loc.row);
+        self.core
+            .rank
+            .timing_mut()
+            .reserve(bank, read_set, start, data_ready);
+        self.core
+            .rank
+            .timing_mut()
+            .open_row(bank, read_set, req.loc.row);
 
         // Functional read; reconstruction check when applicable.
-        self.core.rank.energy_mut().record_read(read_set.count() as u64 * 64);
+        self.core
+            .rank
+            .energy_mut()
+            .record_read(read_set.count() as u64 * 64);
         let stored = self.core.rank.read_line(bank, req.loc.row, req.loc.col);
         let codec = self.core.rank.storage().codec();
         if let Some(missing_chip) = reconstructed {
@@ -505,12 +589,23 @@ impl PcmapController {
             let mut partial = stored.data;
             partial.set_word(missing_word, 0);
             let rebuilt = codec.reconstruct(&partial, missing_word, stored.pcc);
-            debug_assert_eq!(rebuilt, stored.data, "XOR reconstruction must match storage");
+            debug_assert_eq!(
+                rebuilt, stored.data,
+                "XOR reconstruction must match storage"
+            );
         }
 
         let via_row = deferred_ecc.is_some() || reconstructed.is_some();
         if via_row {
             self.core.stats.reads_via_row += 1;
+        }
+        if let Some(missing) = reconstructed {
+            self.core.events.record(Event {
+                at: start,
+                req: req.id.0,
+                bank,
+                kind: EventKind::RowReconstruct { missing },
+            });
         }
         let verify_done = if deferred_ecc.is_some() {
             // Deferred verify: one-chip read on the busy data chip (if
@@ -523,14 +618,27 @@ impl PcmapController {
                 verify_set.insert_chip(c);
             }
             debug_assert!(!verify_set.is_empty());
-            let vs = self.core.rank.timing().free_at(bank, verify_set, data_ready);
+            let vs = self
+                .core
+                .rank
+                .timing()
+                .free_at(bank, verify_set, data_ready);
             let ve = vs + op::verify_read_occupancy(&self.core.t);
-            self.core.rank.timing_mut().reserve(bank, verify_set, vs, ve);
+            self.core
+                .rank
+                .timing_mut()
+                .reserve(bank, verify_set, vs, ve);
             self.core.stats.row_verifies += 1;
-            if self.core.trace.is_enabled() {
-                for chip in verify_set.chips() {
-                    self.core.trace.record(bank, chip, vs, ve, "V");
-                }
+            self.core.events.record(Event {
+                at: start,
+                req: req.id.0,
+                bank,
+                kind: EventKind::DeferredVerify,
+            });
+            for chip in verify_set.chips() {
+                self.core
+                    .events
+                    .chip_occupy(req.id.0, bank, chip, vs, ve, || "V".to_owned());
             }
             Some(ve)
         } else {
@@ -550,17 +658,31 @@ impl PcmapController {
         }
         self.core.stats.reads_done += 1;
         self.core.stats.read_latency_sum += data_ready.since(req.arrival);
-        self.core.stats.read_latency_hist.record(data_ready.since(req.arrival).as_u64());
+        self.core
+            .stats
+            .read_latency_hist
+            .record(data_ready.since(req.arrival).as_u64());
         for chip in read_set.chips() {
             // IRLP: only the eight word-serving chips count (exclude the
             // ECC chip on plain reads).
             if self.layout.ecc_chip(req.line) != chip {
                 self.core.stats.irlp.record_segment(bank, start, data_ready);
             }
-            if self.core.trace.is_enabled() {
-                self.core.trace.record(bank, chip, start, data_ready, &format!("Rd-{}", req.id.0));
-            }
+            self.core
+                .events
+                .chip_occupy(req.id.0, bank, chip, start, data_ready, || {
+                    format!("Rd-{}", req.id.0)
+                });
         }
+        self.core.events.record(Event {
+            at: data_ready,
+            req: req.id.0,
+            bank,
+            kind: EventKind::Complete {
+                is_write: false,
+                latency: data_ready.since(req.arrival),
+            },
+        });
 
         Completion {
             id: req.id,
@@ -576,7 +698,11 @@ impl PcmapController {
 }
 
 impl Controller for PcmapController {
-    fn enqueue_read(&mut self, req: MemRequest, now: Cycle) -> Result<Option<Completion>, MemRequest> {
+    fn enqueue_read(
+        &mut self,
+        req: MemRequest,
+        now: Cycle,
+    ) -> Result<Option<Completion>, MemRequest> {
         self.core.enqueue_read_common(req, now)
     }
 
@@ -624,7 +750,11 @@ impl Controller for PcmapController {
         if self.core.bus.free_at() > now {
             wake = Cycle(wake.0.min(self.core.bus.free_at().0));
         }
-        Some(if wake <= now || wake == Cycle::MAX { Cycle(now.0 + 1) } else { wake })
+        Some(if wake <= now || wake == Cycle::MAX {
+            Cycle(now.0 + 1)
+        } else {
+            wake
+        })
     }
 
     fn read_q_len(&self) -> usize {
@@ -651,12 +781,12 @@ impl Controller for PcmapController {
         &mut self.core.rank
     }
 
-    fn trace(&self) -> &ChipTrace {
-        &self.core.trace
+    fn events(&self) -> &EventLog {
+        &self.core.events
     }
 
     fn set_trace(&mut self, enabled: bool) {
-        self.core.trace = if enabled { ChipTrace::enabled() } else { ChipTrace::disabled() };
+        self.core.events.set_enabled(enabled);
     }
 
     fn settle(&mut self, now: Cycle) {
@@ -700,7 +830,13 @@ mod tests {
         }
     }
 
-    fn write_req(c: &PcmapController, id: u64, addr: u64, words: &[usize], now: Cycle) -> MemRequest {
+    fn write_req(
+        c: &PcmapController,
+        id: u64,
+        addr: u64,
+        words: &[usize],
+        now: Cycle,
+    ) -> MemRequest {
         let org = MemOrg::tiny();
         let a = PhysAddr::new(addr);
         let loc = org.decode(a);
@@ -751,7 +887,10 @@ mod tests {
         assert!(!t.is_free(bank, ChipId(3), Cycle(10)));
         assert!(!t.is_free(bank, ChipId::ECC, Cycle(10)));
         for free in [0u8, 1, 2, 4, 5, 6, 7] {
-            assert!(t.is_free(bank, ChipId(free), Cycle(10)), "chip {free} must stay free");
+            assert!(
+                t.is_free(bank, ChipId(free), Cycle(10)),
+                "chip {free} must stay free"
+            );
         }
         // The PCC chip is free during step 1 and busy in step 2.
         assert!(t.is_free(bank, ChipId::PCC, Cycle(10)));
@@ -784,8 +923,11 @@ mod tests {
         let w1 = write_req(&c, 1, 0, &[2], Cycle(0));
         let org = MemOrg::tiny();
         let l = c.layout();
-        let used1: Vec<ChipId> =
-            vec![l.chip_of_word(w1.line, 2), l.ecc_chip(w1.line), l.pcc_chip(w1.line)];
+        let used1: Vec<ChipId> = vec![
+            l.chip_of_word(w1.line, 2),
+            l.ecc_chip(w1.line),
+            l.pcc_chip(w1.line),
+        ];
         let mut addr2 = None;
         for k in 1..400u64 {
             let a = k * 64 * org.channels as u64;
@@ -881,7 +1023,8 @@ mod tests {
         c.enqueue_write(w, Cycle(0)).unwrap();
         c.step(Cycle(0));
         c.enqueue_read(read_req(2, 64, Cycle(2)), Cycle(2)).unwrap();
-        c.enqueue_read(read_req(3, 128, Cycle(2)), Cycle(2)).unwrap();
+        c.enqueue_read(read_req(3, 128, Cycle(2)), Cycle(2))
+            .unwrap();
         let mut now = Cycle(2);
         let mut reads = Vec::new();
         reads.extend(c.step(now).into_iter().filter(|x| x.is_read));
@@ -934,17 +1077,14 @@ mod tests {
                 .count();
             // At most one busy word chip, and the PCC chip clear of both.
             let pc = c.layout().pcc_chip(line);
-            if loc.bank == w.loc.bank
-                && busy_word_chips <= 1
-                && pc != busy_data
-                && pc != busy_ecc
-            {
+            if loc.bank == w.loc.bank && busy_word_chips <= 1 && pc != busy_data && pc != busy_ecc {
                 found = Some(addr);
                 break;
             }
         }
         let addr = found.expect("rotation must yield an issueable line");
-        c.enqueue_read(read_req(2, addr, Cycle(4)), Cycle(4)).unwrap();
+        c.enqueue_read(read_req(2, addr, Cycle(4)), Cycle(4))
+            .unwrap();
         let out = c.step(Cycle(4));
         let rc: Vec<_> = out.iter().filter(|x| x.is_read).collect();
         assert_eq!(rc.len(), 1, "read should proceed despite the busy chips");
@@ -968,7 +1108,10 @@ mod tests {
         c.step(Cycle(0));
         c.enqueue_read(read_req(2, 64, Cycle(4)), Cycle(4)).unwrap();
         let out = c.step(Cycle(4));
-        assert!(out.iter().all(|x| !x.is_read), "rule 1 applies during drains only");
+        assert!(
+            out.iter().all(|x| !x.is_read),
+            "rule 1 applies during drains only"
+        );
     }
 
     #[test]
@@ -991,12 +1134,15 @@ mod tests {
                 let loc = org.decode(PhysAddr::new(addr));
                 assert_eq!(loc.bank, BankId(0));
                 let w = write_req(&c, k + 1, addr, &[2, 4, 6], Cycle(0));
-                let ReqKind::Write { data } = w.kind else { unreachable!() };
+                let ReqKind::Write { data } = w.kind else {
+                    unreachable!()
+                };
                 expected.push((loc, data));
                 c.enqueue_write(w, Cycle(0)).unwrap();
             }
             for r in 0..4u64 {
-                c.enqueue_read(read_req(100 + r, 64 + r * 4096, Cycle(0)), Cycle(0)).unwrap();
+                c.enqueue_read(read_req(100 + r, 64 + r * 4096, Cycle(0)), Cycle(0))
+                    .unwrap();
             }
             let mut now = Cycle(0);
             c.step(now);
@@ -1010,14 +1156,22 @@ mod tests {
             }
             assert_eq!(c.stats().writes_done, 26);
             let hist: u64 = c.stats().essential_histogram.iter().sum();
-            assert_eq!(hist, 26, "each write histogrammed once: {:?}", c.stats().essential_histogram);
+            assert_eq!(
+                hist,
+                26,
+                "each write histogrammed once: {:?}",
+                c.stats().essential_histogram
+            );
             (c.stats().reads_via_row, c.stats().essential_histogram[3])
         };
         let (row_off, h_off) = run(false);
         let (row_on, h_on) = run(true);
         assert_eq!(h_off, 26);
         assert_eq!(h_on, 26, "split writes keep their original word count");
-        assert!(row_on > row_off, "split mode must enable RoW: {row_on} vs {row_off}");
+        assert!(
+            row_on > row_off,
+            "split mode must enable RoW: {row_on} vs {row_off}"
+        );
     }
 
     #[test]

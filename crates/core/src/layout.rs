@@ -46,17 +46,26 @@ impl Layout {
     /// No rotation: word *w* → chip *w*, ECC → chip 8, PCC → chip 9
     /// (the `-NR` systems).
     pub fn fixed() -> Self {
-        Self { rotate_data: false, rotate_ecc: false }
+        Self {
+            rotate_data: false,
+            rotate_ecc: false,
+        }
     }
 
     /// Data rotation only (`-RD` systems).
     pub fn rotate_data() -> Self {
-        Self { rotate_data: true, rotate_ecc: false }
+        Self {
+            rotate_data: true,
+            rotate_ecc: false,
+        }
     }
 
     /// Data + ECC/PCC rotation (`-RDE` systems).
     pub fn rotate_all() -> Self {
-        Self { rotate_data: true, rotate_ecc: true }
+        Self {
+            rotate_data: true,
+            rotate_ecc: true,
+        }
     }
 
     /// Whether data words rotate across chips.

@@ -22,21 +22,19 @@ fn soup(kind: SystemKind, seed: u64, ops: usize) {
         QueueParams::paper_default(),
         seed,
     );
-    ctrl.set_overlap_reads_in_normal(seed % 2 == 0);
-    ctrl.set_split_writes_for_row(seed % 3 == 0);
+    ctrl.set_overlap_reads_in_normal(seed.is_multiple_of(2));
+    ctrl.set_split_writes_for_row(seed.is_multiple_of(3));
     let mut rng = Xoshiro256::new(seed);
     let mut now = Cycle(0);
-    let mut next_id = 1u64;
     // Ground truth of the last *accepted* write per line.
     let mut truth: HashMap<u64, CacheLine> = HashMap::new();
 
-    for _ in 0..ops {
+    for next_id in 1..=ops as u64 {
         // Random arrival spacing.
         now = Cycle(now.0 + rng.next_below(40));
         let addr = PhysAddr::new(rng.next_below(64) * 64);
         let loc = org.decode(addr);
         let id = ReqId(next_id);
-        next_id += 1;
 
         if rng.chance(0.4) {
             // Write: flip 0..=3 random words relative to current storage.
@@ -96,7 +94,10 @@ fn soup(kind: SystemKind, seed: u64, ops: usize) {
     // via the silent tail, so the totals still match).
     let s = ctrl.stats();
     let hist_total: u64 = s.essential_histogram.iter().sum();
-    assert_eq!(hist_total, s.writes_done, "every write is histogrammed once");
+    assert_eq!(
+        hist_total, s.writes_done,
+        "every write is histogrammed once"
+    );
 }
 
 #[test]
@@ -175,5 +176,8 @@ fn rotation_levels_wear() {
         rotated < fixed,
         "rotation must level wear: rotated {rotated:.2} vs fixed {fixed:.2}"
     );
-    assert!(rotated < 1.5, "rotated layout should be near-balanced: {rotated:.2}");
+    assert!(
+        rotated < 1.5,
+        "rotated layout should be near-balanced: {rotated:.2}"
+    );
 }

@@ -99,13 +99,28 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Self {
         assert!(cfg.sets.is_power_of_two(), "sets must be a power of two");
         assert!(cfg.ways > 0, "ways must be positive");
-        let way = Way { tag: 0, valid: false, dirty: WordMask::empty(), data: CacheLine::zeroed(), lru: 0 };
-        Self { cfg, sets: vec![vec![way; cfg.ways]; cfg.sets], tick: 0, hits: 0, misses: 0 }
+        let way = Way {
+            tag: 0,
+            valid: false,
+            dirty: WordMask::empty(),
+            data: CacheLine::zeroed(),
+            lru: 0,
+        };
+        Self {
+            cfg,
+            sets: vec![vec![way; cfg.ways]; cfg.sets],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn index_tag(&self, addr: PhysAddr) -> (usize, u64) {
         let line = addr.line().0;
-        ((line as usize) & (self.cfg.sets - 1), line >> self.cfg.sets.trailing_zeros())
+        (
+            (line as usize) & (self.cfg.sets - 1),
+            line >> self.cfg.sets.trailing_zeros(),
+        )
     }
 
     /// Accesses the word containing `addr`. On a write, `value` (if given)
@@ -127,7 +142,11 @@ impl Cache {
                 }
             }
             self.hits += 1;
-            return AccessResult { hit: true, eviction: None, fill: None };
+            return AccessResult {
+                hit: true,
+                eviction: None,
+                fill: None,
+            };
         }
 
         self.misses += 1;
@@ -171,7 +190,10 @@ impl Cache {
     /// preserving any words already written since allocation.
     pub fn fill(&mut self, addr: PhysAddr, memory_data: CacheLine) {
         let (set_idx, tag) = self.index_tag(addr);
-        if let Some(way) = self.sets[set_idx].iter_mut().find(|w| w.valid && w.tag == tag) {
+        if let Some(way) = self.sets[set_idx]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+        {
             let written = way.dirty;
             let mut data = memory_data;
             data.merge_words(&way.data, written);
@@ -242,7 +264,7 @@ mod tests {
         let base = PhysAddr::new(0x200);
         c.access(base, AccessKind::Write, Some(1)); // word 0
         c.access(PhysAddr::new(0x200 + 24), AccessKind::Write, Some(2)); // word 3
-        // Evict by filling the set with conflicting lines.
+                                                                         // Evict by filling the set with conflicting lines.
         let mut evicted = None;
         for k in 1..=2u64 {
             let conflict = PhysAddr::new(0x200 + k * 4 * 64); // same set (4 sets)

@@ -45,6 +45,21 @@ pub struct CoreStats {
     pub rollback_cycles: u64,
 }
 
+impl CoreStats {
+    /// Captures these counters as a mergeable
+    /// [`MetricsSnapshot`](pcmap_obs::MetricsSnapshot): summing across the
+    /// eight cores gives whole-CPU totals.
+    pub fn snapshot(&self) -> pcmap_obs::MetricsSnapshot {
+        let mut s = pcmap_obs::MetricsSnapshot::new();
+        s.set_counter("retired", self.retired);
+        s.set_counter("read_stall_cycles", self.read_stall_cycles);
+        s.set_counter("write_stall_cycles", self.write_stall_cycles);
+        s.set_counter("rollbacks", self.rollbacks);
+        s.set_counter("rollback_cycles", self.rollback_cycles);
+        s
+    }
+}
+
 /// What a core wants to do next.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CoreAction {
@@ -147,7 +162,9 @@ impl CoreModel {
                 }
                 return;
             }
-            let step = (cpu_now - self.now).min(self.compute_remaining).min(headroom);
+            let step = (cpu_now - self.now)
+                .min(self.compute_remaining)
+                .min(headroom);
             self.now += step;
             self.stats.retired += step;
             self.compute_remaining -= step;
@@ -186,7 +203,9 @@ impl CoreModel {
             if self.barrier_headroom() == 0 {
                 return CoreAction::StalledOnRead;
             }
-            return CoreAction::BusyUntil(self.now + self.compute_remaining.min(self.barrier_headroom()));
+            return CoreAction::BusyUntil(
+                self.now + self.compute_remaining.min(self.barrier_headroom()),
+            );
         }
         match self.pending {
             Some(WorkOp::Read) => {
@@ -215,7 +234,8 @@ impl CoreModel {
         assert_eq!(self.pending, Some(WorkOp::Read), "no pending read");
         self.pending = None;
         self.stats.retired += 1;
-        self.barriers.push_back(self.stats.retired + self.read_slack);
+        self.barriers
+            .push_back(self.stats.retired + self.read_slack);
     }
 
     /// Commits the pending write as accepted by the controller.
@@ -251,7 +271,10 @@ impl CoreModel {
 
     /// Delivers the oldest read's completion at CPU cycle `cpu_when`.
     pub fn read_returned(&mut self, cpu_when: u64) {
-        debug_assert!(!self.barriers.is_empty(), "completion without outstanding read");
+        debug_assert!(
+            !self.barriers.is_empty(),
+            "completion without outstanding read"
+        );
         self.barriers.pop_front();
         if let Some(start) = self.stall_started.take() {
             let end = cpu_when.max(start);

@@ -29,7 +29,10 @@ impl HierarchyConfig {
         Self {
             l1: CacheConfig { sets: 64, ways: 2 },
             l2: CacheConfig { sets: 256, ways: 4 },
-            llc: CacheConfig { sets: 1024, ways: 8 },
+            llc: CacheConfig {
+                sets: 1024,
+                ways: 8,
+            },
         }
     }
 }
@@ -54,7 +57,11 @@ pub struct Hierarchy {
 impl Hierarchy {
     /// Creates an empty hierarchy.
     pub fn new(cfg: HierarchyConfig) -> Self {
-        Self { l1: Cache::new(cfg.l1), l2: Cache::new(cfg.l2), llc: Cache::new(cfg.llc) }
+        Self {
+            l1: Cache::new(cfg.l1),
+            l2: Cache::new(cfg.l2),
+            llc: Cache::new(cfg.llc),
+        }
     }
 
     /// Performs a load or store of the word containing `addr`.
@@ -240,7 +247,9 @@ mod tests {
     fn first_access_fetches_from_memory() {
         let mut h = tiny();
         let traffic = h.access(PhysAddr::new(0), AccessKind::Read, None, backing);
-        assert!(traffic.iter().any(|t| matches!(t, MemAccess::Fetch(a) if a.0 == 0)));
+        assert!(traffic
+            .iter()
+            .any(|t| matches!(t, MemAccess::Fetch(a) if a.0 == 0)));
         // Second access hits L1: no traffic.
         let t2 = h.access(PhysAddr::new(8), AccessKind::Read, None, backing);
         assert!(t2.is_empty());
@@ -291,7 +300,10 @@ mod tests {
         let mut flushed = h.flush();
         flushed.sort_by_key(|e| e.addr.0);
         let lines: Vec<u64> = flushed.iter().map(|e| e.addr.line().0).collect();
-        assert!(lines.contains(&0) && lines.contains(&1), "lines = {lines:?}");
+        assert!(
+            lines.contains(&0) && lines.contains(&1),
+            "lines = {lines:?}"
+        );
         assert!(h.flush().is_empty());
     }
 }

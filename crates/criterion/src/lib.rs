@@ -1,0 +1,197 @@
+//! Vendored, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build environment has no network access to crates.io, so this crate
+//! implements the subset of criterion's surface the workspace's benches use:
+//! [`Criterion`] with the `sample_size` / `warm_up_time` / `measurement_time`
+//! builders, [`Criterion::bench_function`] with a [`Bencher`] whose
+//! [`iter`](Bencher::iter) times a closure, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros (both the `name = ..; config = ..; targets =`
+//! and the positional forms).
+//!
+//! Measurement is plain wall-clock: each bench is calibrated to the target
+//! measurement time, run for `sample_size` samples, and reported as a single
+//! `name  median ± spread  (N samples × M iters)` line on stdout. There is
+//! no statistical outlier analysis, HTML report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Re-export for call sites that import `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Benchmark driver: holds the measurement configuration and runs benches.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples collected per bench.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time spent warming up (calibrating iteration count) per bench.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Target total measurement time per bench.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up / calibration: grow the iteration count until one batch
+        // takes a measurable slice of the warm-up budget.
+        let mut iters: u64 = 1;
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut per_iter = Duration::from_nanos(1);
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            if b.elapsed > Duration::ZERO {
+                per_iter = b.elapsed / iters as u32;
+            }
+            if Instant::now() >= warm_deadline || b.elapsed >= Duration::from_millis(20) {
+                break;
+            }
+            iters = iters.saturating_mul(2);
+        }
+
+        // Pick per-sample iterations so all samples fit the measurement time.
+        let budget = self.measurement_time.as_nanos() / self.sample_size as u128;
+        let per = per_iter.as_nanos().max(1);
+        let sample_iters = ((budget / per) as u64).clamp(1, 1 << 30);
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: sample_iters,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            samples.push(b.elapsed / sample_iters as u32);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let spread = samples[samples.len() - 1].saturating_sub(samples[0]);
+        println!(
+            "{name:<40} {:>12} ± {:<10} ({} samples × {} iters)",
+            fmt_duration(median),
+            fmt_duration(spread),
+            self.sample_size,
+            sample_iters
+        );
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Timing handle passed to each bench routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this batch's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a bench group: a function running each target against a shared
+/// [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        c.bench_function("counts", |b| {
+            calls += 1;
+            b.iter(|| black_box(calls))
+        });
+        assert!(calls >= 4, "warm-up plus 3 samples should call the routine");
+    }
+
+    #[test]
+    fn duration_formatting_covers_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with("s"));
+    }
+}

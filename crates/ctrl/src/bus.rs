@@ -34,7 +34,10 @@ impl Default for ChannelBus {
 impl ChannelBus {
     /// Creates an idle bus.
     pub fn new() -> Self {
-        Self { free_at: Cycle::ZERO, last_dir: None }
+        Self {
+            free_at: Cycle::ZERO,
+            last_dir: None,
+        }
     }
 
     /// Earliest cycle a transfer in `dir` could begin, at or after

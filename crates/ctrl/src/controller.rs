@@ -14,11 +14,9 @@ use crate::op;
 use crate::queues::{DrainPolicy, DrainState, RequestQueue};
 use crate::request::{Completion, MemRequest, ReqId, ReqKind};
 use crate::stats::CtrlStats;
-use crate::trace::ChipTrace;
 use pcmap_device::PcmRank;
-use pcmap_types::{
-    BankId, ChipId, ChipSet, Cycle, Duration, MemOrg, QueueParams, TimingParams,
-};
+use pcmap_obs::{Event, EventKind, EventLog, EventSink};
+use pcmap_types::{BankId, ChipId, ChipSet, Cycle, Duration, MemOrg, QueueParams, TimingParams};
 
 /// Latency of answering a read straight from the write queue.
 const FORWARD_LATENCY: Duration = Duration(2);
@@ -42,7 +40,11 @@ pub trait Controller {
     /// # Errors
     ///
     /// Returns the request back if the read queue is full.
-    fn enqueue_read(&mut self, req: MemRequest, now: Cycle) -> Result<Option<Completion>, MemRequest>;
+    fn enqueue_read(
+        &mut self,
+        req: MemRequest,
+        now: Cycle,
+    ) -> Result<Option<Completion>, MemRequest>;
 
     /// Offers a write request at time `now`.
     ///
@@ -71,9 +73,10 @@ pub trait Controller {
     fn rank(&self) -> &PcmRank;
     /// Mutable rank access (fault injection, inspection).
     fn rank_mut(&mut self) -> &mut PcmRank;
-    /// The chip-occupancy trace.
-    fn trace(&self) -> &ChipTrace;
-    /// Enables or disables chip-occupancy tracing.
+    /// The request-lifecycle event log (chip-occupancy timelines are the
+    /// [`pcmap_obs::ChipTrace`] view over it).
+    fn events(&self) -> &EventLog;
+    /// Enables or disables lifecycle event recording.
     fn set_trace(&mut self, enabled: bool);
     /// Finalizes metric windows up to `now` (pass [`Cycle::MAX`] at the end
     /// of simulation).
@@ -105,8 +108,8 @@ pub struct CtrlCore {
     pub bus: ChannelBus,
     /// Statistics.
     pub stats: CtrlStats,
-    /// Optional chip trace.
-    pub trace: ChipTrace,
+    /// Lifecycle event log (disabled by default).
+    pub events: EventLog,
     /// Per-bank completion time of the most recent write (delay
     /// attribution for Figure 1).
     pub last_write_end: Vec<Cycle>,
@@ -126,11 +129,13 @@ impl CtrlCore {
             t,
             rank: PcmRank::with_seed(org, seed),
             read_q: RequestQueue::new(q.read_q),
-            write_qs: (0..org.banks).map(|_| RequestQueue::new(q.write_q)).collect(),
+            write_qs: (0..org.banks)
+                .map(|_| RequestQueue::new(q.write_q))
+                .collect(),
             drains: (0..org.banks).map(|_| DrainPolicy::new(&q)).collect(),
             bus: ChannelBus::new(),
             stats: CtrlStats::new(org.banks as usize),
-            trace: ChipTrace::disabled(),
+            events: EventLog::disabled(),
             last_write_end: vec![Cycle::ZERO; org.banks as usize],
             last_drain_exit: Cycle::ZERO,
             last_read_activity: None,
@@ -173,12 +178,40 @@ impl CtrlCore {
         now: Cycle,
     ) -> Result<Option<Completion>, MemRequest> {
         self.last_read_activity = Some(self.last_read_activity.unwrap_or(Cycle::ZERO).max(now));
-        if self.write_qs[req.loc.bank.index()].newest_to_line(req.line).is_some() {
+        self.events.record(Event {
+            at: now,
+            req: req.id.0,
+            bank: req.loc.bank,
+            kind: EventKind::Arrival { is_write: false },
+        });
+        if self.write_qs[req.loc.bank.index()]
+            .newest_to_line(req.line)
+            .is_some()
+        {
             let done = now + FORWARD_LATENCY;
             self.stats.reads_done += 1;
             self.stats.reads_forwarded += 1;
             self.stats.read_latency_sum += done.since(req.arrival);
-            self.stats.read_latency_hist.record(done.since(req.arrival).as_u64());
+            self.stats
+                .read_latency_hist
+                .record(done.since(req.arrival).as_u64());
+            if self.events.is_enabled() {
+                self.events.record(Event {
+                    at: now,
+                    req: req.id.0,
+                    bank: req.loc.bank,
+                    kind: EventKind::Forwarded,
+                });
+                self.events.record(Event {
+                    at: done,
+                    req: req.id.0,
+                    bank: req.loc.bank,
+                    kind: EventKind::Complete {
+                        is_write: false,
+                        latency: done.since(req.arrival),
+                    },
+                });
+            }
             return Ok(Some(Completion {
                 id: req.id,
                 core: req.core,
@@ -197,11 +230,26 @@ impl CtrlCore {
     /// Updates one bank's drain state machine, tracking exits for delay
     /// attribution.
     pub fn update_drain(&mut self, bank: BankId, now: Cycle) -> DrainState {
+        let backlog = self.write_qs[bank.index()].len();
         let d = &mut self.drains[bank.index()];
         let before = d.state();
-        let after = d.update(self.write_qs[bank.index()].len());
+        let after = d.update(backlog);
+        if before == DrainState::Normal && after == DrainState::Draining {
+            self.events.record(Event {
+                at: now,
+                req: pcmap_obs::NO_REQ,
+                bank,
+                kind: EventKind::DrainStart { backlog },
+            });
+        }
         if before == DrainState::Draining && after == DrainState::Normal {
             self.last_drain_exit = now;
+            self.events.record(Event {
+                at: now,
+                req: pcmap_obs::NO_REQ,
+                bank,
+                kind: EventKind::DrainEnd,
+            });
         }
         after
     }
@@ -218,7 +266,15 @@ impl CtrlCore {
     /// Returns the request back if that bank's queue is full.
     #[allow(clippy::result_large_err)] // request handed back by value on a full queue
     pub fn enqueue_write_common(&mut self, req: MemRequest) -> Result<(), MemRequest> {
-        self.write_qs[req.loc.bank.index()].push(req)
+        let (at, id, bank) = (req.arrival, req.id.0, req.loc.bank);
+        self.write_qs[req.loc.bank.index()].push(req)?;
+        self.events.record(Event {
+            at,
+            req: id,
+            bank,
+            kind: EventKind::Arrival { is_write: true },
+        });
+        Ok(())
     }
 
     /// Total drain episodes started across banks.
@@ -229,7 +285,9 @@ impl CtrlCore {
     /// `true` while any bank is draining writes — the channel bus is
     /// turned to the write direction (§II-B), so ordinary reads wait.
     pub fn any_draining(&self) -> bool {
-        self.drains.iter().any(|d| d.state() == DrainState::Draining)
+        self.drains
+            .iter()
+            .any(|d| d.state() == DrainState::Draining)
     }
 
     /// Whether serving a read *now* that arrived at `arrival` counts as
@@ -310,15 +368,33 @@ impl CtrlCore {
         }
         self.stats.reads_done += 1;
         self.stats.read_latency_sum += data_ready.since(req.arrival);
-        self.stats.read_latency_hist.record(data_ready.since(req.arrival).as_u64());
+        self.stats
+            .read_latency_hist
+            .record(data_ready.since(req.arrival).as_u64());
 
+        self.events.record(Event {
+            at: now,
+            req: req.id.0,
+            bank,
+            kind: EventKind::Issue { is_write: false },
+        });
         // IRLP: eight data-word-serving chips.
         for chip in ChipSet::data_chips_fixed().chips() {
             self.stats.irlp.record_segment(bank, now, data_ready);
-            if self.trace.is_enabled() {
-                self.trace.record(bank, chip, now, data_ready, &format!("Rd-{}", req.id.0));
-            }
+            self.events
+                .chip_occupy(req.id.0, bank, chip, now, data_ready, || {
+                    format!("Rd-{}", req.id.0)
+                });
         }
+        self.events.record(Event {
+            at: data_ready,
+            req: req.id.0,
+            bank,
+            kind: EventKind::Complete {
+                is_write: false,
+                latency: data_ready.since(req.arrival),
+            },
+        });
 
         Completion {
             id: req.id,
@@ -358,20 +434,38 @@ impl CtrlCore {
             .iter()
             .position(|q| q.iter().any(|r| r.id == id))
             .expect("picked write must be queued");
-        let req = self.write_qs[bank0].remove(id).expect("picked write must be queued");
-        let ReqKind::Write { data } = req.kind else { panic!("write queue held a read") };
+        let req = self.write_qs[bank0]
+            .remove(id)
+            .expect("picked write must be queued");
+        let ReqKind::Write { data } = req.kind else {
+            panic!("write queue held a read")
+        };
         let bank = req.loc.bank;
 
-        let outcome = self.rank.write_words(bank, req.loc.row, req.loc.col, data, pcmap_types::WordMask::full());
+        let outcome = self.rank.write_words(
+            bank,
+            req.loc.row,
+            req.loc.col,
+            data,
+            pcmap_types::WordMask::full(),
+        );
         self.stats.essential_histogram[outcome.essential.count()] += 1;
         if outcome.silent {
             self.stats.silent_writes += 1;
         }
 
         // Full-bus transfer of the line, then in-chip differential writes.
-        let transfer = self.bus.reserve(BusDir::Write, now + Duration(self.t.t_wl), &self.t);
+        let transfer = self
+            .bus
+            .reserve(BusDir::Write, now + Duration(self.t.t_wl), &self.t);
         let program_start = transfer + Duration(self.t.burst);
 
+        self.events.record(Event {
+            at: now,
+            req: req.id.0,
+            bank,
+            kind: EventKind::Issue { is_write: true },
+        });
         let mut done = program_start + Duration(self.t.array_read); // compare-only chips
         for i in outcome.essential.iter() {
             let end = program_start + outcome.kinds[i].duration(&self.t);
@@ -380,9 +474,9 @@ impl CtrlCore {
             let chip = ChipId(i as u8);
             self.stats.irlp.record_segment(bank, now, end);
             self.rank.wear_mut().record(chip, outcome.bits_per_word[i]);
-            if self.trace.is_enabled() {
-                self.trace.record(bank, chip, now, end, &format!("Wr-{}", req.id.0));
-            }
+            self.events.chip_occupy(req.id.0, bank, chip, now, end, || {
+                format!("Wr-{}", req.id.0)
+            });
         }
         if !outcome.silent {
             // The ECC chip is rewritten alongside (not counted in IRLP).
@@ -390,9 +484,10 @@ impl CtrlCore {
             done = done.max(ecc_end);
             self.rank.wear_mut().record(ChipId::ECC, 8);
             self.rank.energy_mut().record_write(4, 4);
-            if self.trace.is_enabled() {
-                self.trace.record(bank, ChipId::ECC, now, ecc_end, &format!("We-{}", req.id.0));
-            }
+            self.events
+                .chip_occupy(req.id.0, bank, ChipId::ECC, now, ecc_end, || {
+                    format!("We-{}", req.id.0)
+                });
         }
 
         let set = Self::baseline_write_set();
@@ -406,9 +501,17 @@ impl CtrlCore {
         // tracker's active list — which `open_window` consults. Nothing to
         // do here.)
 
-        self.stats.writes_done += 1;
-        self.stats.last_write_done = self.stats.last_write_done.max(done);
+        self.stats.record_write_done(done);
         self.last_write_end[bank.index()] = self.last_write_end[bank.index()].max(done);
+        self.events.record(Event {
+            at: done,
+            req: req.id.0,
+            bank,
+            kind: EventKind::Complete {
+                is_write: true,
+                latency: done.since(req.arrival),
+            },
+        });
 
         Completion {
             id: req.id,
@@ -430,7 +533,11 @@ impl CtrlCore {
         }
         let mut wake = Cycle::MAX;
         let coarse = Self::coarse_read_set();
-        for req in self.read_q.iter().chain(self.write_qs.iter().flat_map(|q| q.iter())) {
+        for req in self
+            .read_q
+            .iter()
+            .chain(self.write_qs.iter().flat_map(|q| q.iter()))
+        {
             let t = self.rank.timing().free_at(req.loc.bank, coarse, now);
             wake = Cycle(wake.0.min(t.0));
         }
@@ -450,12 +557,18 @@ pub struct BaselineController {
 impl BaselineController {
     /// Creates a baseline controller for one channel.
     pub fn new(org: MemOrg, t: TimingParams, q: QueueParams, seed: u64) -> Self {
-        Self { core: CtrlCore::new(org, t, q, seed) }
+        Self {
+            core: CtrlCore::new(org, t, q, seed),
+        }
     }
 }
 
 impl Controller for BaselineController {
-    fn enqueue_read(&mut self, req: MemRequest, now: Cycle) -> Result<Option<Completion>, MemRequest> {
+    fn enqueue_read(
+        &mut self,
+        req: MemRequest,
+        now: Cycle,
+    ) -> Result<Option<Completion>, MemRequest> {
         self.core.enqueue_read_common(req, now)
     }
 
@@ -527,12 +640,12 @@ impl Controller for BaselineController {
         &mut self.core.rank
     }
 
-    fn trace(&self) -> &ChipTrace {
-        &self.core.trace
+    fn events(&self) -> &EventLog {
+        &self.core.events
     }
 
     fn set_trace(&mut self, enabled: bool) {
-        self.core.trace = if enabled { ChipTrace::enabled() } else { ChipTrace::disabled() };
+        self.core.events.set_enabled(enabled);
     }
 
     fn settle(&mut self, now: Cycle) {
@@ -571,7 +684,13 @@ mod tests {
         }
     }
 
-    fn write_req(c: &BaselineController, id: u64, addr: u64, words: &[usize], now: Cycle) -> MemRequest {
+    fn write_req(
+        c: &BaselineController,
+        id: u64,
+        addr: u64,
+        words: &[usize],
+        now: Cycle,
+    ) -> MemRequest {
         let org = MemOrg::tiny();
         let a = PhysAddr::new(addr);
         let loc = org.decode(a);
@@ -690,10 +809,14 @@ mod tests {
             let w = write_req(&c, i, i * 4096, &[0], Cycle(0));
             c.enqueue_write(w, Cycle(0)).unwrap();
         }
-        c.enqueue_read(read_req(100, 64, Cycle(0)), Cycle(0)).unwrap();
+        c.enqueue_read(read_req(100, 64, Cycle(0)), Cycle(0))
+            .unwrap();
         let comps = c.step(Cycle(0));
         // During drain, writes issue (to both banks) but the read must not.
-        assert!(comps.iter().all(|x| !x.is_read), "reads blocked during drain");
+        assert!(
+            comps.iter().all(|x| !x.is_read),
+            "reads blocked during drain"
+        );
         assert!(!comps.is_empty());
     }
 
@@ -707,7 +830,11 @@ mod tests {
         let samples = c.stats().irlp.samples();
         assert_eq!(samples.len(), 1);
         // One essential chip busy ~86% of the window (transfer preamble).
-        assert!(samples[0] > 0.5 && samples[0] <= 1.0, "irlp = {}", samples[0]);
+        assert!(
+            samples[0] > 0.5 && samples[0] <= 1.0,
+            "irlp = {}",
+            samples[0]
+        );
     }
 
     #[test]
@@ -726,6 +853,71 @@ mod tests {
         }
         assert!(rejected > 0);
         assert_eq!(c.read_q_len(), QueueParams::paper_default().read_q);
+    }
+
+    #[test]
+    fn event_log_captures_read_lifecycle() {
+        let mut c = ctrl();
+        c.set_trace(true);
+        c.enqueue_read(read_req(1, 0, Cycle(0)), Cycle(0)).unwrap();
+        let done = c.step(Cycle(0))[0].done;
+        let kinds: Vec<&EventKind> = c.events().events().map(|e| &e.kind).collect();
+        assert!(matches!(kinds[0], EventKind::Arrival { is_write: false }));
+        assert!(matches!(kinds[1], EventKind::Issue { is_write: false }));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, EventKind::ChipOccupy { .. })));
+        match kinds.last().unwrap() {
+            EventKind::Complete {
+                is_write: false,
+                latency,
+            } => {
+                assert_eq!(*latency, done.since(Cycle(0)));
+            }
+            other => panic!("last event should be Complete, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chip_trace_view_reproduces_occupancy() {
+        let mut c = ctrl();
+        c.set_trace(true);
+        let w = write_req(&c, 1, 0, &[3], Cycle(0));
+        c.enqueue_write(w, Cycle(0)).unwrap();
+        c.step(Cycle(0));
+        let trace = pcmap_obs::ChipTrace::from_events(c.events());
+        assert!(trace.events().iter().any(|e| e.label.starts_with("Wr-")));
+        // The gantt glyph is the label's last character: '1' for "Wr-1".
+        let gantt = trace.render_gantt(BankId(0), 8);
+        assert!(
+            gantt
+                .lines()
+                .any(|l| l.starts_with("ch3") && l.contains('1')),
+            "gantt:\n{gantt}"
+        );
+    }
+
+    #[test]
+    fn disabled_event_log_stays_empty() {
+        let mut c = ctrl();
+        c.enqueue_read(read_req(1, 0, Cycle(0)), Cycle(0)).unwrap();
+        c.step(Cycle(0));
+        assert!(c.events().is_empty());
+    }
+
+    #[test]
+    fn drain_transitions_are_logged() {
+        let mut c = ctrl();
+        c.set_trace(true);
+        for i in 0..26 {
+            let w = write_req(&c, i, i * 4096, &[0], Cycle(0));
+            c.enqueue_write(w, Cycle(0)).unwrap();
+        }
+        c.step(Cycle(0));
+        assert!(c
+            .events()
+            .events()
+            .any(|e| matches!(e.kind, EventKind::DrainStart { backlog } if backlog > 0)));
     }
 
     #[test]

@@ -51,13 +51,20 @@ struct BankIrlp {
 pub struct IrlpTracker {
     banks: Vec<BankIrlp>,
     samples: Vec<f64>,
+    /// `(window end, sample)` pairs, for windowed IRLP time-series.
+    timed: Vec<(Cycle, f64)>,
     next_id: u64,
 }
 
 impl IrlpTracker {
     /// Creates a tracker for `banks` banks.
     pub fn new(banks: usize) -> Self {
-        Self { banks: vec![BankIrlp::default(); banks], samples: Vec::new(), next_id: 0 }
+        Self {
+            banks: vec![BankIrlp::default(); banks],
+            samples: Vec::new(),
+            timed: Vec::new(),
+            next_id: 0,
+        }
     }
 
     /// Opens a write window on `bank` spanning `[start, end)` and returns a
@@ -66,14 +73,20 @@ impl IrlpTracker {
     pub fn open_window(&mut self, bank: BankId, start: Cycle, end: Cycle) -> WindowId {
         let id = WindowId(self.next_id);
         self.next_id += 1;
-        self.banks[bank.index()].windows.push(Window { id, start, end });
+        self.banks[bank.index()]
+            .windows
+            .push(Window { id, start, end });
         id
     }
 
     /// Extends an open window's end (no-op if `new_end` is earlier or the
     /// window has already been finalized).
     pub fn extend_window(&mut self, bank: BankId, id: WindowId, new_end: Cycle) {
-        if let Some(w) = self.banks[bank.index()].windows.iter_mut().find(|w| w.id == id) {
+        if let Some(w) = self.banks[bank.index()]
+            .windows
+            .iter_mut()
+            .find(|w| w.id == id)
+        {
             if new_end > w.end {
                 w.end = new_end;
             }
@@ -102,7 +115,9 @@ impl IrlpTracker {
                 if b.windows[i].end <= now {
                     let w = b.windows.swap_remove(i);
                     if w.end > w.start {
-                        self.samples.push(window_irlp(&w, &b.segs));
+                        let sample = window_irlp(&w, &b.segs);
+                        self.samples.push(sample);
+                        self.timed.push((w.end, sample));
                     }
                 } else {
                     i += 1;
@@ -119,6 +134,12 @@ impl IrlpTracker {
     /// Per-write IRLP samples finalized so far.
     pub fn samples(&self) -> &[f64] {
         &self.samples
+    }
+
+    /// Finalized samples with the completion time of their window, for
+    /// windowed IRLP time-series. Same order and length as [`Self::samples`].
+    pub fn timed_samples(&self) -> &[(Cycle, f64)] {
+        &self.timed
     }
 
     /// Mean IRLP over finalized write windows (0 if none).
@@ -263,6 +284,19 @@ mod tests {
         t.record_segment(BankId(1), Cycle(0), Cycle(10)); // other bank
         t.settle(Cycle::MAX);
         assert_eq!(t.samples(), &[0.0]);
+    }
+
+    #[test]
+    fn timed_samples_carry_window_ends() {
+        let mut t = IrlpTracker::new(1);
+        t.open_window(B, Cycle(0), Cycle(10));
+        t.record_segment(B, Cycle(0), Cycle(10));
+        t.open_window(B, Cycle(20), Cycle(40));
+        t.settle(Cycle::MAX);
+        let mut timed = t.timed_samples().to_vec();
+        timed.sort_by_key(|(c, _)| *c);
+        assert_eq!(timed, vec![(Cycle(10), 1.0), (Cycle(40), 0.0)]);
+        assert_eq!(t.timed_samples().len(), t.samples().len());
     }
 
     #[test]

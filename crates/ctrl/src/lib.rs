@@ -43,18 +43,19 @@
 pub mod bus;
 pub mod controller;
 pub mod irlp;
-pub mod latency;
 pub mod op;
 pub mod queues;
 pub mod request;
 pub mod stats;
-pub mod trace;
 
 pub use bus::{BusDir, ChannelBus};
 pub use controller::{BaselineController, Controller, CtrlCore};
 pub use irlp::{IrlpTracker, WindowId};
-pub use latency::LatencyHistogram;
 pub use queues::{DrainPolicy, DrainState, RequestQueue};
 pub use request::{Completion, MemRequest, ReqId, ReqKind};
 pub use stats::CtrlStats;
-pub use trace::{ChipTrace, TraceEvent};
+// Telemetry primitives now live in `pcmap-obs`; re-exported here for the
+// controller call sites and backward compatibility.
+pub use pcmap_obs::{
+    ChipTrace, Event, EventKind, EventLog, EventSink, LatencyHistogram, TraceEvent,
+};

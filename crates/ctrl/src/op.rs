@@ -101,6 +101,9 @@ mod tests {
     #[test]
     fn silent_write_costs_only_the_internal_read() {
         let p = TimingParams::paper_default();
-        assert_eq!(chip_write_occupancy(WriteKind::Silent, &p), Duration(p.array_read));
+        assert_eq!(
+            chip_write_occupancy(WriteKind::Silent, &p),
+            Duration(p.array_read)
+        );
     }
 }

@@ -19,7 +19,10 @@ pub struct RequestQueue {
 impl RequestQueue {
     /// Creates a queue bounded at `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        Self { entries: Vec::with_capacity(capacity), capacity }
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Attempts to append a request.
@@ -139,7 +142,7 @@ impl DrainPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::{ReqKind, ReqId};
+    use crate::request::{ReqId, ReqKind};
     use pcmap_types::{CoreId, Cycle, MemOrg, PhysAddr};
 
     fn req(id: u64, addr: u64) -> MemRequest {
@@ -195,13 +198,21 @@ mod tests {
         q.push(req(1, 0)).unwrap();
         q.push(req(2, 0)).unwrap(); // same line as id 1
         q.push(req(3, 64)).unwrap();
-        assert_eq!(q.newest_to_line(PhysAddr::new(0).line()).unwrap().id, ReqId(2));
+        assert_eq!(
+            q.newest_to_line(PhysAddr::new(0).line()).unwrap().id,
+            ReqId(2)
+        );
         assert!(q.newest_to_line(PhysAddr::new(4096).line()).is_none());
     }
 
     #[test]
     fn drain_hysteresis() {
-        let params = QueueParams { read_q: 8, write_q: 10, drain_high: 0.8, drain_low: 0.2 };
+        let params = QueueParams {
+            read_q: 8,
+            write_q: 10,
+            drain_high: 0.8,
+            drain_low: 0.2,
+        };
         let mut p = DrainPolicy::new(&params);
         assert_eq!(p.state(), DrainState::Normal);
         assert_eq!(p.update(7), DrainState::Normal);

@@ -1,6 +1,6 @@
 //! Memory requests as seen by a channel's memory controller.
 
-use pcmap_types::{CacheLine, Cycle, CoreId, LineAddr, MemLocation};
+use pcmap_types::{CacheLine, CoreId, Cycle, LineAddr, MemLocation};
 
 /// A unique, monotonically increasing request identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -81,7 +81,10 @@ mod tests {
     #[test]
     fn req_kind_predicates() {
         assert!(ReqKind::Read.is_read());
-        assert!(!ReqKind::Write { data: CacheLine::zeroed() }.is_read());
+        assert!(!ReqKind::Write {
+            data: CacheLine::zeroed()
+        }
+        .is_read());
     }
 
     #[test]

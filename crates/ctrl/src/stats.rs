@@ -1,8 +1,17 @@
 //! Controller-side statistics: latency, throughput, delay attribution.
+//!
+//! `CtrlStats` stays a plain-field struct on the hot path;
+//! [`CtrlStats::snapshot`] lifts it into a mergeable
+//! [`MetricsSnapshot`] (metric names documented in DESIGN.md) so the four
+//! channels aggregate through the generic telemetry layer.
 
 use crate::irlp::IrlpTracker;
-use crate::latency::LatencyHistogram;
+use pcmap_obs::{GaugeRule, LatencyHistogram, MetricsSnapshot, WindowedSeries};
 use pcmap_types::{Cycle, Duration};
+
+/// Width (in memory cycles) of the windowed throughput/IRLP time-series
+/// kept by every controller.
+pub const SERIES_WINDOW: u64 = 8192;
 
 /// Counters collected by a memory controller.
 #[derive(Debug, Clone)]
@@ -52,6 +61,9 @@ pub struct CtrlStats {
     pub read_latency_hist: LatencyHistogram,
     /// Completion time of the last write (for throughput windows).
     pub last_write_done: Cycle,
+    /// Writes completed per [`SERIES_WINDOW`]-cycle window (windowed
+    /// throughput view).
+    pub write_series: WindowedSeries,
 }
 
 impl CtrlStats {
@@ -79,7 +91,16 @@ impl CtrlStats {
             irlp: IrlpTracker::new(banks),
             read_latency_hist: LatencyHistogram::new(),
             last_write_done: Cycle::ZERO,
+            write_series: WindowedSeries::new(SERIES_WINDOW),
         }
+    }
+
+    /// Records a completed write at `done` into the aggregate counters and
+    /// the windowed throughput series.
+    pub fn record_write_done(&mut self, done: Cycle) {
+        self.writes_done += 1;
+        self.last_write_done = self.last_write_done.max(done);
+        self.write_series.bump(done.0);
     }
 
     /// Mean effective read latency in cycles (0 if no reads finished).
@@ -115,9 +136,54 @@ impl CtrlStats {
         if total == 0 {
             return 0.0;
         }
-        let weighted: u64 =
-            self.essential_histogram.iter().enumerate().map(|(i, &n)| i as u64 * n).sum();
+        let weighted: u64 = self
+            .essential_histogram
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| i as u64 * n)
+            .sum();
         weighted as f64 / total as f64
+    }
+
+    /// Captures these statistics as a mergeable [`MetricsSnapshot`].
+    ///
+    /// Counters sum across channels; ratios are carried as sum + count
+    /// pairs (`read_latency_sum` / `reads_done`, `irlp_sum` /
+    /// `irlp_samples`) so the merged mean is exact; `irlp_max` and
+    /// `last_write_done` merge by max; the read-latency distribution
+    /// merges bucket-wise.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot::new();
+        s.set_counter("reads_done", self.reads_done);
+        s.set_counter("reads_forwarded", self.reads_forwarded);
+        s.set_counter("reads_via_row", self.reads_via_row);
+        s.set_counter("writes_done", self.writes_done);
+        s.set_counter("silent_writes", self.silent_writes);
+        s.set_counter("wow_overlaps", self.wow_overlaps);
+        s.set_counter("read_latency_sum", self.read_latency_sum.as_u64());
+        s.set_counter("reads_delayed_by_write", self.reads_delayed_by_write);
+        s.set_counter("row_verifies", self.row_verifies);
+        s.set_counter("row_blocked_multi_busy", self.row_blocked_multi_busy);
+        s.set_counter("row_blocked_pcc_busy", self.row_blocked_pcc_busy);
+        s.set_counter("wr_blocked_data", self.wr_blocked_data);
+        s.set_counter("wr_blocked_ecc", self.wr_blocked_ecc);
+        s.set_counter("wr_blocked_pcc", self.wr_blocked_pcc);
+        s.set_counter("reads_deferred_only", self.reads_deferred_only);
+        s.set_counter("ecc_corrected", self.ecc_corrected);
+        s.set_counter("ecc_uncorrectable", self.ecc_uncorrectable);
+        for (i, &n) in self.essential_histogram.iter().enumerate() {
+            s.set_counter(&format!("essential_words_{i}"), n);
+        }
+        s.set_counter("irlp_samples", self.irlp.samples().len() as u64);
+        s.set_gauge("irlp_sum", GaugeRule::Sum, self.irlp.samples().iter().sum());
+        s.set_gauge("irlp_max", GaugeRule::Max, self.irlp.max());
+        s.set_gauge(
+            "last_write_done",
+            GaugeRule::Max,
+            self.last_write_done.0 as f64,
+        );
+        s.set_histogram("read_latency", self.read_latency_hist.clone());
+        s
     }
 }
 
@@ -155,5 +221,50 @@ mod tests {
         let mut s = CtrlStats::new(8);
         s.writes_done = 10;
         assert_eq!(s.write_throughput(Duration(1000)), 10.0);
+    }
+
+    #[test]
+    fn record_write_done_feeds_series() {
+        let mut s = CtrlStats::new(8);
+        s.record_write_done(Cycle(10));
+        s.record_write_done(Cycle(SERIES_WINDOW + 1));
+        assert_eq!(s.writes_done, 2);
+        assert_eq!(s.last_write_done, Cycle(SERIES_WINDOW + 1));
+        assert_eq!(s.write_series.windows().count(), 2);
+    }
+
+    #[test]
+    fn snapshot_reconciles_with_fields() {
+        let mut s = CtrlStats::new(8);
+        s.reads_done = 7;
+        s.reads_delayed_by_write = 3;
+        s.read_latency_sum = Duration(700);
+        s.read_latency_hist.record(100);
+        s.essential_histogram[2] = 5;
+        s.wr_blocked_ecc = 2;
+        let snap = s.snapshot();
+        assert_eq!(snap.counter("reads_done"), 7);
+        assert_eq!(snap.counter("reads_delayed_by_write"), 3);
+        assert_eq!(snap.counter("read_latency_sum"), 700);
+        assert_eq!(snap.counter("essential_words_2"), 5);
+        assert_eq!(snap.counter("wr_blocked_ecc"), 2);
+        assert_eq!(snap.histogram("read_latency").unwrap().count(), 1);
+        // Derived mean from the snapshot equals the struct's own method.
+        let mean = snap.counter("read_latency_sum") as f64 / snap.counter("reads_done") as f64;
+        assert_eq!(mean, s.mean_read_latency());
+    }
+
+    #[test]
+    fn snapshots_merge_like_one_channel() {
+        let mut a = CtrlStats::new(8);
+        a.reads_done = 2;
+        a.read_latency_sum = Duration(100);
+        let mut b = CtrlStats::new(8);
+        b.reads_done = 3;
+        b.read_latency_sum = Duration(500);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("reads_done"), 5);
+        assert_eq!(merged.counter("read_latency_sum"), 600);
     }
 }

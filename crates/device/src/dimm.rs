@@ -37,7 +37,10 @@ impl DimmRegister {
         params: &TimingParams,
     ) -> (ChipSet, Cycle) {
         self.polls += 1;
-        (timing.busy_set(bank, now), now + Duration(params.status_cmd))
+        (
+            timing.busy_set(bank, now),
+            now + Duration(params.status_cmd),
+        )
     }
 
     /// Total number of `Status` commands issued through this register.

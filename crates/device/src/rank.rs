@@ -12,9 +12,7 @@ use crate::energy::EnergyMeter;
 use crate::storage::{RankStorage, StoredLine};
 use crate::timing::RankTiming;
 use crate::wear::WearTracker;
-use pcmap_types::{
-    BankId, CacheLine, ColAddr, Duration, MemOrg, RowAddr, TimingParams, WordMask,
-};
+use pcmap_types::{BankId, CacheLine, ColAddr, Duration, MemOrg, RowAddr, TimingParams, WordMask};
 
 /// How a word write stresses the PCM array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -150,7 +148,11 @@ impl PcmRank {
             let reset_bits = (old_w & !new_w).count_ones();
             self.energy.record_write(set_bits as u64, reset_bits as u64);
             bits_per_word[i] = set_bits + reset_bits;
-            kinds[i] = if set_bits > 0 { WriteKind::SetDominated } else { WriteKind::ResetOnly };
+            kinds[i] = if set_bits > 0 {
+                WriteKind::SetDominated
+            } else {
+                WriteKind::ResetOnly
+            };
             essential.insert(i);
             stored.data.set_word(i, new_w);
         }
@@ -162,7 +164,12 @@ impl PcmRank {
             self.storage.store(bank, row, col, stored);
         }
 
-        WriteOutcome { essential, bits_per_word, kinds, silent: essential.is_empty() }
+        WriteOutcome {
+            essential,
+            bits_per_word,
+            kinds,
+            silent: essential.is_empty(),
+        }
     }
 
     /// Shared access to the rank's timing state.
@@ -238,7 +245,10 @@ mod tests {
         let out = rank.write_line(B, R, C, old.data);
         assert!(out.silent);
         assert_eq!(out.essential.count(), 0);
-        assert_eq!(out.max_word_duration(&TimingParams::paper_default()), Duration::ZERO);
+        assert_eq!(
+            out.max_word_duration(&TimingParams::paper_default()),
+            Duration::ZERO
+        );
     }
 
     #[test]

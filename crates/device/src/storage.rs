@@ -41,7 +41,12 @@ impl RankStorage {
     /// Creates storage whose pristine (never-written) content is derived
     /// from `seed`.
     pub fn with_seed(org: MemOrg, seed: u64) -> Self {
-        Self { org, codec: LineCodec::new(), lines: HashMap::new(), seed }
+        Self {
+            org,
+            codec: LineCodec::new(),
+            lines: HashMap::new(),
+            seed,
+        }
     }
 
     fn key(&self, bank: BankId, row: RowAddr, col: ColAddr) -> u64 {
@@ -52,14 +57,21 @@ impl RankStorage {
 
     fn pristine(&self, key: u64) -> StoredLine {
         let data = CacheLine::from_seed(key ^ self.seed.rotate_left(32) ^ 0x5bd1_e995_9d1c_a3e5);
-        StoredLine { data, ecc: self.codec.ecc_word(&data), pcc: self.codec.pcc_word(&data) }
+        StoredLine {
+            data,
+            ecc: self.codec.ecc_word(&data),
+            pcc: self.codec.pcc_word(&data),
+        }
     }
 
     /// Reads the line at the given coordinates (pristine content if never
     /// written).
     pub fn load(&self, bank: BankId, row: RowAddr, col: ColAddr) -> StoredLine {
         let key = self.key(bank, row, col);
-        self.lines.get(&key).copied().unwrap_or_else(|| self.pristine(key))
+        self.lines
+            .get(&key)
+            .copied()
+            .unwrap_or_else(|| self.pristine(key))
     }
 
     /// Overwrites the line and its ECC/PCC words.
@@ -79,10 +91,19 @@ impl RankStorage {
     /// # Panics
     ///
     /// Panics if `word >= 8` or `bit >= 64`.
-    pub fn inject_bit_error(&mut self, bank: BankId, row: RowAddr, col: ColAddr, word: usize, bit: u32) {
+    pub fn inject_bit_error(
+        &mut self,
+        bank: BankId,
+        row: RowAddr,
+        col: ColAddr,
+        word: usize,
+        bit: u32,
+    ) {
         assert!(word < 8 && bit < 64, "word/bit out of range");
         let mut stored = self.load(bank, row, col);
-        stored.data.set_word(word, stored.data.word(word) ^ (1u64 << bit));
+        stored
+            .data
+            .set_word(word, stored.data.word(word) ^ (1u64 << bit));
         self.store(bank, row, col, stored);
     }
 

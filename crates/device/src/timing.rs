@@ -36,7 +36,13 @@ impl ChipBankState {
     /// The time at which this chip is clear of every reservation still
     /// active or scheduled at/after `now`.
     pub fn clear_from(&self, now: Cycle) -> Cycle {
-        self.res.iter().filter(|&&(_, e)| e > now).map(|&(_, e)| e).max().unwrap_or(now).max(now)
+        self.res
+            .iter()
+            .filter(|&&(_, e)| e > now)
+            .map(|&(_, e)| e)
+            .max()
+            .unwrap_or(now)
+            .max(now)
     }
 
     /// The earliest reservation boundary strictly after `now`, if any.
@@ -77,7 +83,11 @@ impl RankTiming {
     pub fn new(org: &MemOrg) -> Self {
         let banks = org.banks as usize;
         let chips = ChipId::TOTAL_CHIPS;
-        Self { banks, chips, state: vec![ChipBankState::default(); banks * chips] }
+        Self {
+            banks,
+            chips,
+            state: vec![ChipBankState::default(); banks * chips],
+        }
     }
 
     #[inline]
@@ -108,7 +118,8 @@ impl RankTiming {
     /// Returns `true` if every chip in `set` is free for the whole of
     /// `[start, end)` on `bank`.
     pub fn set_free_during(&self, bank: BankId, set: ChipSet, start: Cycle, end: Cycle) -> bool {
-        set.chips().all(|c| self.chip(bank, c).is_free_during(start, end))
+        set.chips()
+            .all(|c| self.chip(bank, c).is_free_during(start, end))
     }
 
     /// The set of chips of `bank` that are busy at `now` — exactly what the
@@ -230,10 +241,14 @@ mod tests {
         t.reserve(BankId(0), ChipSet::single(9), Cycle(56), Cycle(112));
         assert!(t.is_free(BankId(0), ChipId(9), Cycle(0)));
         // A read fitting before the future window is allowed…
-        assert!(t.chip(BankId(0), ChipId(9)).is_free_during(Cycle(0), Cycle(33)));
+        assert!(t
+            .chip(BankId(0), ChipId(9))
+            .is_free_during(Cycle(0), Cycle(33)));
         t.reserve(BankId(0), ChipSet::single(9), Cycle(0), Cycle(33));
         // …but one overlapping it is not.
-        assert!(!t.chip(BankId(0), ChipId(9)).is_free_during(Cycle(40), Cycle(80)));
+        assert!(!t
+            .chip(BankId(0), ChipId(9))
+            .is_free_during(Cycle(40), Cycle(80)));
     }
 
     #[test]
@@ -254,10 +269,16 @@ mod tests {
         t.reserve(BankId(0), ChipSet::single(1), Cycle(0), Cycle(70));
         let both: ChipSet = [0usize, 1].into_iter().collect();
         assert_eq!(t.free_at(BankId(0), both, Cycle(10)), Cycle(70));
-        assert_eq!(t.free_at(BankId(0), ChipSet::single(0), Cycle(40)), Cycle(40));
+        assert_eq!(
+            t.free_at(BankId(0), ChipSet::single(0), Cycle(40)),
+            Cycle(40)
+        );
         // free_at accounts for future reservations too.
         t.reserve(BankId(0), ChipSet::single(2), Cycle(100), Cycle(120));
-        assert_eq!(t.free_at(BankId(0), ChipSet::single(2), Cycle(0)), Cycle(120));
+        assert_eq!(
+            t.free_at(BankId(0), ChipSet::single(2), Cycle(0)),
+            Cycle(120)
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ fn energy_accumulates_only_for_changed_bits() {
     data.set_word(2, old.word(2) ^ 0b111); // 3 bit flips
     rank.write_line(B, R, C, data);
     let after = *rank.energy();
-    assert_eq!(after.bits_set + after.bits_reset - before.bits_set - before.bits_reset, 3);
+    assert_eq!(
+        after.bits_set + after.bits_reset - before.bits_set - before.bits_reset,
+        3
+    );
     // A silent rewrite pushed at the full line (as the chips see it)
     // senses every masked word but programs nothing.
     let mid = *rank.energy();
@@ -64,7 +67,11 @@ fn energy_accumulates_only_for_changed_bits() {
     let fin = *rank.energy();
     assert_eq!(fin.bits_set, mid.bits_set);
     assert_eq!(fin.bits_reset, mid.bits_reset);
-    assert_eq!(fin.bits_read - mid.bits_read, 8 * 64, "read-before-write senses each word");
+    assert_eq!(
+        fin.bits_read - mid.bits_read,
+        8 * 64,
+        "read-before-write senses each word"
+    );
 }
 
 #[test]
@@ -85,7 +92,10 @@ fn reservations_support_gap_scheduling() {
     assert!(t.chip(B, pcc).is_free_during(Cycle(150), Cycle(220)));
     // Fill the gap, then the whole timeline is solid.
     t.reserve(B, ChipSet::single(pcc.index()), Cycle(60), Cycle(100));
-    assert_eq!(t.free_at(B, ChipSet::single(pcc.index()), Cycle(0)), Cycle(150));
+    assert_eq!(
+        t.free_at(B, ChipSet::single(pcc.index()), Cycle(0)),
+        Cycle(150)
+    );
 }
 
 proptest! {

@@ -153,14 +153,22 @@ pub fn decode(cw: u128) -> Decoded {
     let parity_ok = cw.count_ones() & 1 == 0;
 
     match (syndrome, parity_ok) {
-        (0, true) => Decoded::Clean { data: extract_data(cw) },
+        (0, true) => Decoded::Clean {
+            data: extract_data(cw),
+        },
         (0, false) => {
             // The overall parity bit itself flipped; data is intact.
-            Decoded::Corrected { data: extract_data(cw), bit: 0 }
+            Decoded::Corrected {
+                data: extract_data(cw),
+                bit: 0,
+            }
         }
         (s, false) if s < CODEWORD_BITS => {
             let fixed = cw ^ (1u128 << s);
-            Decoded::Corrected { data: extract_data(fixed), bit: s }
+            Decoded::Corrected {
+                data: extract_data(fixed),
+                bit: s,
+            }
         }
         // Non-zero syndrome with even parity ⇒ an even number (≥2) of
         // flipped bits; and syndromes pointing outside the word are also

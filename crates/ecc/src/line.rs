@@ -118,7 +118,10 @@ impl LineCodec {
         if !dead.is_empty() {
             LineCheck::Uncorrectable { words: dead }
         } else if !fixed.is_empty() {
-            LineCheck::Corrected { line: corrected, words: fixed }
+            LineCheck::Corrected {
+                line: corrected,
+                words: fixed,
+            }
         } else {
             LineCheck::Clean
         }
@@ -132,7 +135,10 @@ impl LineCodec {
     /// Panics if `missing >= 8`.
     pub fn reconstruct(&self, partial: &CacheLine, missing: usize, pcc_word: u64) -> CacheLine {
         let mut out = *partial;
-        out.set_word(missing, parity::reconstruct_word(partial, missing, pcc_word));
+        out.set_word(
+            missing,
+            parity::reconstruct_word(partial, missing, pcc_word),
+        );
         out
     }
 }

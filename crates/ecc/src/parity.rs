@@ -24,7 +24,10 @@ pub fn parity_of(line: &CacheLine) -> u64 {
 ///
 /// Panics if `missing >= 8`.
 pub fn reconstruct_word(present: &CacheLine, missing: usize, parity: u64) -> u64 {
-    assert!(missing < WORDS_PER_LINE, "word index {missing} out of range");
+    assert!(
+        missing < WORDS_PER_LINE,
+        "word index {missing} out of range"
+    );
     let mut acc = parity;
     for i in 0..WORDS_PER_LINE {
         if i != missing {

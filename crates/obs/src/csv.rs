@@ -1,0 +1,117 @@
+//! Minimal RFC-4180-style CSV writing (and a parser for round-trip tests).
+
+/// Escapes one field: quoted iff it contains a comma, quote, or newline.
+pub fn escape_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Renders one CSV row (no trailing newline).
+pub fn format_row<S: AsRef<str>>(fields: &[S]) -> String {
+    fields
+        .iter()
+        .map(|f| escape_field(f.as_ref()))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Renders a header plus rows as a CSV document (with trailing newline).
+pub fn format_table<S: AsRef<str>, R: AsRef<[String]>>(headers: &[S], rows: &[R]) -> String {
+    let mut out = format_row(headers);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format_row(row.as_ref()));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a CSV document back into rows of fields (used by round-trip
+/// tests; handles quoted fields and embedded newlines).
+pub fn parse(input: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut saw_any = false;
+    while let Some(c) = chars.next() {
+        saw_any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                c => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => row.push(std::mem::take(&mut field)),
+                '\r' => {}
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                c => field.push(c),
+            }
+        }
+    }
+    if saw_any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_unquoted() {
+        assert_eq!(format_row(&["a", "b", "c"]), "a,b,c");
+    }
+
+    #[test]
+    fn special_fields_quoted() {
+        assert_eq!(
+            format_row(&["a,b", "c\"d", "e\nf"]),
+            "\"a,b\",\"c\"\"d\",\"e\nf\""
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let rows = vec![
+            vec!["plain".to_owned(), "with,comma".to_owned()],
+            vec!["with \"quotes\"".to_owned(), "multi\nline".to_owned()],
+        ];
+        let text = format_table(&["h1", "h2"], &rows);
+        let parsed = parse(&text);
+        assert_eq!(parsed[0], vec!["h1", "h2"]);
+        assert_eq!(parsed[1..], rows[..]);
+    }
+
+    #[test]
+    fn empty_input_has_no_rows() {
+        assert!(parse("").is_empty());
+    }
+}

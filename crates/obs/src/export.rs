@@ -1,0 +1,40 @@
+//! File exporters: write JSON documents and CSV tables under `results/`.
+
+use crate::json::Value;
+use std::io;
+use std::path::Path;
+
+/// Writes `value` as pretty-printed JSON to `path`, creating parent
+/// directories as needed.
+pub fn write_json(path: impl AsRef<Path>, value: &Value) -> io::Result<()> {
+    write_text(path, &value.to_json_pretty())
+}
+
+/// Writes already-rendered text (e.g. a CSV document) to `path`, creating
+/// parent directories as needed.
+pub fn write_text(path: impl AsRef<Path>, text: &str) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_into_fresh_directory() {
+        let dir = std::env::temp_dir().join(format!("pcmap-obs-test-{}", std::process::id()));
+        let path = dir.join("nested/out.json");
+        let mut v = Value::obj();
+        v.set("ok", Value::Bool(true));
+        write_json(&path, &v).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(crate::json::parse(&text).unwrap(), v);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

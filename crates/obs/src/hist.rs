@@ -4,17 +4,25 @@
 //! tail that drains create, so the controller also keeps a log-scaled
 //! histogram cheap enough to run on every request (64 buckets, ~¼-decade
 //! resolution), from which percentiles are interpolated.
+//!
+//! This type originated in `pcmap-ctrl` and moved here so every layer (and
+//! the metric registry) can share one percentile implementation;
+//! `pcmap_ctrl::LatencyHistogram` re-exports it.
+
+use crate::json::Value;
 
 /// A log₂-bucketed latency histogram with 4 sub-buckets per octave.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     counts: Vec<u64>,
     total: u64,
     max_seen: u64,
 }
 
-const SUB: u64 = 4;
-const BUCKETS: usize = 64;
+/// Sub-buckets per octave.
+pub const SUB: u64 = 4;
+/// Total bucket count.
+pub const BUCKETS: usize = 64;
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
@@ -25,21 +33,26 @@ impl Default for LatencyHistogram {
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        Self { counts: vec![0; BUCKETS], total: 0, max_seen: 0 }
+        Self {
+            counts: vec![0; BUCKETS],
+            total: 0,
+            max_seen: 0,
+        }
     }
 
-    fn bucket_of(value: u64) -> usize {
+    /// The bucket index `value` falls into (may exceed `BUCKETS - 1` for
+    /// huge values; `record` clamps).
+    pub fn bucket_of(value: u64) -> usize {
         if value < SUB {
             return value as usize;
         }
         let octave = 63 - value.leading_zeros() as u64;
         let sub = (value >> (octave - 2)) & (SUB - 1);
         (((octave - 1) * SUB) + sub) as usize
-
     }
 
     /// Lower bound of `bucket`'s value range.
-    fn bucket_floor(bucket: usize) -> u64 {
+    pub fn bucket_floor(bucket: usize) -> u64 {
         let b = bucket as u64;
         if b < SUB {
             return b;
@@ -95,6 +108,37 @@ impl LatencyHistogram {
         }
         self.total += other.total;
         self.max_seen = self.max_seen.max(other.max_seen);
+    }
+
+    /// Non-empty buckets as `(bucket_floor, count)` pairs, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_floor(i), c))
+    }
+
+    /// A JSON object summarizing the distribution: count, max, p50/p95/p99,
+    /// and the non-empty buckets.
+    pub fn to_json(&self) -> Value {
+        let mut obj = Value::obj();
+        obj.set("count", Value::U64(self.total));
+        obj.set("max", Value::U64(self.max_seen));
+        if self.total > 0 {
+            obj.set("p50", Value::U64(self.percentile(50.0)));
+            obj.set("p95", Value::U64(self.percentile(95.0)));
+            obj.set("p99", Value::U64(self.percentile(99.0)));
+        }
+        obj.set(
+            "buckets",
+            Value::Arr(
+                self.buckets()
+                    .map(|(floor, count)| Value::Arr(vec![Value::U64(floor), Value::U64(count)]))
+                    .collect(),
+            ),
+        );
+        obj
     }
 }
 
@@ -167,6 +211,95 @@ mod tests {
         LatencyHistogram::new().percentile(0.0);
     }
 
+    #[test]
+    fn bucket_edges_first_octaves_are_exact() {
+        // Values below SUB are their own buckets: percentile is exact.
+        for v in 0..SUB {
+            assert_eq!(LatencyHistogram::bucket_of(v), v as usize);
+            assert_eq!(LatencyHistogram::bucket_floor(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_edges_power_of_two_boundaries() {
+        // At every octave boundary the value must start a fresh bucket whose
+        // floor is itself, and value-1 must land in the previous bucket.
+        for shift in 2..62u64 {
+            let v = 1u64 << shift;
+            let b = LatencyHistogram::bucket_of(v);
+            assert_eq!(LatencyHistogram::bucket_floor(b), v, "floor at 2^{shift}");
+            let prev = LatencyHistogram::bucket_of(v - 1);
+            assert_eq!(prev + 1, b, "2^{shift}-1 is in the preceding bucket");
+        }
+    }
+
+    #[test]
+    fn bucket_edges_sub_bucket_boundaries() {
+        // Within an octave, each of the 4 sub-buckets starts exactly at
+        // floor + k * octave/4.
+        for shift in 2..30u64 {
+            let base = 1u64 << shift;
+            let step = base / SUB;
+            for k in 0..SUB {
+                let edge = base + k * step;
+                let b = LatencyHistogram::bucket_of(edge);
+                assert_eq!(LatencyHistogram::bucket_floor(b), edge);
+                if k > 0 {
+                    assert_eq!(LatencyHistogram::bucket_of(edge - 1) + 1, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_at_bucket_edge_returns_edge_floor() {
+        let mut h = LatencyHistogram::new();
+        // 100 samples exactly at a sub-bucket edge: every percentile is the
+        // edge itself (floor == value == max).
+        for _ in 0..100 {
+            h.record(1280); // 1024 + 1*256: sub-bucket edge of octave 10
+        }
+        for p in [1.0, 50.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 1280);
+        }
+    }
+
+    #[test]
+    fn percentile_clamps_to_max_within_final_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(1281); // just past the edge: bucket floor 1280 < max 1281
+        assert_eq!(h.percentile(100.0), 1280);
+        h.record(1500); // same bucket region, larger max
+        assert!(h.percentile(100.0) <= 1500);
+    }
+
+    #[test]
+    fn huge_values_clamp_to_last_bucket() {
+        let mut h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 1);
+        // The sample lands in the last bucket; its reported percentile is
+        // that bucket's floor, never above the observed maximum.
+        let p100 = h.percentile(100.0);
+        assert!(p100 > 0 && p100 <= h.max());
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn json_summary_has_percentiles_and_buckets() {
+        let mut h = LatencyHistogram::new();
+        for v in [10u64, 10, 500] {
+            h.record(v);
+        }
+        let j = h.to_json();
+        assert_eq!(j.get("count"), Some(&Value::U64(3)));
+        assert!(j.get("p50").is_some());
+        match j.get("buckets") {
+            Some(Value::Arr(b)) => assert_eq!(b.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_bucket_floor_is_sound(v in 0u64..1_000_000) {
@@ -192,6 +325,20 @@ mod tests {
             let true_median = vs[(vs.len() - 1) / 2];
             prop_assert!(p50 <= true_median.max(1) * 2 && p50 * 2 >= true_median / 2,
                 "p50={p50} true={true_median}");
+        }
+
+        #[test]
+        fn prop_merge_equals_single_stream(vs in proptest::collection::vec(1u64..1_000_000, 1..100), split in 0usize..100) {
+            let cut = split.min(vs.len());
+            let mut left = LatencyHistogram::new();
+            let mut right = LatencyHistogram::new();
+            let mut whole = LatencyHistogram::new();
+            for (i, &v) in vs.iter().enumerate() {
+                if i < cut { left.record(v) } else { right.record(v) }
+                whole.record(v);
+            }
+            left.merge(&right);
+            prop_assert_eq!(left, whole);
         }
     }
 }

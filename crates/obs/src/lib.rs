@@ -1,0 +1,45 @@
+//! Unified telemetry for the PCMap simulator.
+//!
+//! Every figure and table in the paper is an observability claim — IRLP,
+//! read-latency percentiles, rollback rates, chip-occupancy timelines —
+//! so this crate makes those first-class instead of scattering ad-hoc
+//! recorders through the stack:
+//!
+//! - [`metric`] — a registry with typed counter/gauge/histogram handles,
+//!   near-zero-cost when disabled, and [`MetricsSnapshot`]s that merge
+//!   across the four channels' controllers.
+//! - [`event`] — the request-lifecycle event stream (arrival → queue →
+//!   issue → chip occupancy → RoW reconstruction / deferred verify →
+//!   completion or rollback) behind the [`EventSink`] trait, with the
+//!   bounded [`EventLog`] ring buffer as the default sink.
+//! - [`trace`] — the Figure 5 chip-timeline Gantt view, derived from the
+//!   event stream.
+//! - [`hist`] — the log-bucketed [`LatencyHistogram`] (p50/p95/p99),
+//!   shared by controllers and reports.
+//! - [`series`] — windowed throughput / IRLP time-series.
+//! - [`stall`] — stall-attribution breakdown reconciling the controller
+//!   counters.
+//! - [`json`] / [`csv`] / [`export`] — machine-readable exporters used by
+//!   the bench binaries to write `results/*.json` and `results/*.csv`.
+//!
+//! The crate is dependency-light by design: `std` plus `pcmap-types` only.
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod event;
+pub mod export;
+pub mod hist;
+pub mod json;
+pub mod metric;
+pub mod series;
+pub mod stall;
+pub mod trace;
+
+pub use event::{Event, EventKind, EventLog, EventSink, NO_REQ};
+pub use hist::LatencyHistogram;
+pub use json::Value;
+pub use metric::{CounterId, GaugeId, GaugeRule, HistogramId, MetricRegistry, MetricsSnapshot};
+pub use series::{Window, WindowedSeries};
+pub use stall::StallBreakdown;
+pub use trace::{ChipTrace, TraceEvent};

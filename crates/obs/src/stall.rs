@@ -1,0 +1,96 @@
+//! Stall attribution: why requests waited, reconciled against the
+//! controller counters.
+
+use crate::json::Value;
+use crate::metric::MetricsSnapshot;
+
+/// Where blocked cycles went, per the controller's own counters (metric
+/// names from `CtrlStats::snapshot`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Reads delayed behind an in-flight write or a drain episode.
+    pub write_blocked: u64,
+    /// Write-drain episodes entered.
+    pub drains: u64,
+    /// RoW reads blocked because the line's PCC chip was busy.
+    pub pcc_busy: u64,
+    /// RoW reads blocked because two or more data chips were busy.
+    pub multi_busy: u64,
+    /// Write issues blocked on busy essential data chips.
+    pub write_data_blocked: u64,
+    /// Write issues blocked on the line's ECC chip.
+    pub write_ecc_blocked: u64,
+    /// Write issues blocked on the line's PCC chip.
+    pub write_pcc_blocked: u64,
+}
+
+impl StallBreakdown {
+    /// Reads the breakdown out of a snapshot (absent counters read 0, so
+    /// this works for any controller kind).
+    pub fn from_snapshot(snap: &MetricsSnapshot) -> Self {
+        Self {
+            write_blocked: snap.counter("reads_delayed_by_write"),
+            drains: snap.counter("drains_started"),
+            pcc_busy: snap.counter("row_blocked_pcc_busy"),
+            multi_busy: snap.counter("row_blocked_multi_busy"),
+            write_data_blocked: snap.counter("wr_blocked_data"),
+            write_ecc_blocked: snap.counter("wr_blocked_ecc"),
+            write_pcc_blocked: snap.counter("wr_blocked_pcc"),
+        }
+    }
+
+    /// All blocked-attempt events summed.
+    pub fn total(&self) -> u64 {
+        self.write_blocked
+            + self.pcc_busy
+            + self.multi_busy
+            + self.write_data_blocked
+            + self.write_ecc_blocked
+            + self.write_pcc_blocked
+    }
+
+    /// JSON object keyed by cause.
+    pub fn to_json(&self) -> Value {
+        let mut obj = Value::obj();
+        obj.set("write_blocked", Value::U64(self.write_blocked));
+        obj.set("drains", Value::U64(self.drains));
+        obj.set("pcc_busy", Value::U64(self.pcc_busy));
+        obj.set("multi_busy", Value::U64(self.multi_busy));
+        obj.set("write_data_blocked", Value::U64(self.write_data_blocked));
+        obj.set("write_ecc_blocked", Value::U64(self.write_ecc_blocked));
+        obj.set("write_pcc_blocked", Value::U64(self.write_pcc_blocked));
+        obj.set("total_blocked_attempts", Value::U64(self.total()));
+        obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_counters_by_name() {
+        let mut snap = MetricsSnapshot::new();
+        snap.set_counter("reads_delayed_by_write", 4);
+        snap.set_counter("row_blocked_pcc_busy", 2);
+        snap.set_counter("wr_blocked_data", 1);
+        let b = StallBreakdown::from_snapshot(&snap);
+        assert_eq!(b.write_blocked, 4);
+        assert_eq!(b.pcc_busy, 2);
+        assert_eq!(b.write_data_blocked, 1);
+        assert_eq!(b.multi_busy, 0);
+        assert_eq!(b.total(), 7);
+    }
+
+    #[test]
+    fn json_includes_total() {
+        let b = StallBreakdown {
+            write_blocked: 3,
+            ..Default::default()
+        };
+        assert_eq!(
+            b.to_json().get("total_blocked_attempts"),
+            Some(&Value::U64(3))
+        );
+    }
+}

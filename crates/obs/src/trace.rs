@@ -1,9 +1,11 @@
-//! Optional chip-occupancy tracing for timeline (Gantt) rendering.
+//! Chip-occupancy timeline (Gantt) rendering — the Figure 5 view.
 //!
-//! Used to regenerate Figure 5 of the paper: a chip × time diagram of which
-//! chip serves which request when. Tracing is off by default; enable it for
-//! short demonstration runs only (it records every chip reservation).
+//! [`ChipTrace`] used to be a bespoke recorder inside `pcmap-ctrl`; it is
+//! now a *view* built from the generic event stream
+//! ([`ChipTrace::from_events`]) — the controllers emit
+//! [`EventKind::ChipOccupy`] events and this module merely renders them.
 
+use crate::event::{EventKind, EventLog};
 use pcmap_types::{BankId, ChipId, Cycle};
 
 /// One chip reservation, labeled for display.
@@ -21,37 +23,33 @@ pub struct TraceEvent {
     pub label: String,
 }
 
-/// Recorder for chip reservations.
+/// Chip-reservation timeline extracted from an event stream.
 #[derive(Debug, Clone, Default)]
 pub struct ChipTrace {
-    enabled: bool,
     events: Vec<TraceEvent>,
 }
 
 impl ChipTrace {
-    /// Creates a disabled trace (recording is a no-op).
-    pub fn disabled() -> Self {
-        Self::default()
+    /// Builds the timeline from the `ChipOccupy` events in `log` (other
+    /// event kinds are ignored).
+    pub fn from_events(log: &EventLog) -> Self {
+        let events = log
+            .events()
+            .filter_map(|e| match &e.kind {
+                EventKind::ChipOccupy { chip, end, label } => Some(TraceEvent {
+                    bank: e.bank,
+                    chip: *chip,
+                    start: e.at,
+                    end: *end,
+                    label: label.clone(),
+                }),
+                _ => None,
+            })
+            .collect();
+        Self { events }
     }
 
-    /// Creates an enabled trace.
-    pub fn enabled() -> Self {
-        Self { enabled: true, events: Vec::new() }
-    }
-
-    /// Returns `true` if recording.
-    pub fn is_enabled(&self) -> bool {
-        self.enabled
-    }
-
-    /// Records a reservation if enabled.
-    pub fn record(&mut self, bank: BankId, chip: ChipId, start: Cycle, end: Cycle, label: &str) {
-        if self.enabled {
-            self.events.push(TraceEvent { bank, chip, start, end, label: label.to_owned() });
-        }
-    }
-
-    /// All recorded events in record order.
+    /// All reservations in stream order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
     }
@@ -95,28 +93,44 @@ impl ChipTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::{Event, EventSink};
+    use pcmap_types::Duration;
 
-    #[test]
-    fn disabled_trace_records_nothing() {
-        let mut t = ChipTrace::disabled();
-        t.record(BankId(0), ChipId(0), Cycle(0), Cycle(10), "Wr-A");
-        assert!(t.events().is_empty());
-        assert!(!t.is_enabled());
+    fn occupy(log: &mut EventLog, bank: u8, chip: u8, start: u64, end: u64, label: &str) {
+        log.chip_occupy(
+            0,
+            BankId(bank),
+            ChipId(chip),
+            Cycle(start),
+            Cycle(end),
+            || label.to_owned(),
+        );
     }
 
     #[test]
-    fn enabled_trace_records() {
-        let mut t = ChipTrace::enabled();
-        t.record(BankId(0), ChipId(3), Cycle(0), Cycle(10), "Wr-A");
+    fn from_events_keeps_only_chip_occupancy() {
+        let mut log = EventLog::enabled();
+        occupy(&mut log, 0, 3, 0, 10, "Wr-A");
+        log.record(Event {
+            at: Cycle(10),
+            req: 0,
+            bank: BankId(0),
+            kind: EventKind::Complete {
+                is_write: true,
+                latency: Duration(10),
+            },
+        });
+        let t = ChipTrace::from_events(&log);
         assert_eq!(t.events().len(), 1);
         assert_eq!(t.events()[0].chip, ChipId(3));
     }
 
     #[test]
     fn gantt_renders_rows_for_all_ten_chips() {
-        let mut t = ChipTrace::enabled();
-        t.record(BankId(0), ChipId(3), Cycle(0), Cycle(8), "Wr-A");
-        t.record(BankId(0), ChipId(8), Cycle(0), Cycle(8), "Upd-E");
+        let mut log = EventLog::enabled();
+        occupy(&mut log, 0, 3, 0, 8, "Wr-A");
+        occupy(&mut log, 0, 8, 0, 8, "Upd-E");
+        let t = ChipTrace::from_events(&log);
         let g = t.render_gantt(BankId(0), 4);
         let lines: Vec<&str> = g.lines().collect();
         assert_eq!(lines.len(), 10);

@@ -1,0 +1,97 @@
+//! The [`Strategy`] trait and the integer-range strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of one type.
+///
+/// This is the value side of proptest's `Strategy`; shrinking is not
+/// implemented (cases are deterministic, so a failing input is already
+/// reproducible by name).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    rng.in_range(self.start as u64, self.end as u64) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(
+                        self.start < self.end,
+                        "empty range strategy {}..{}",
+                        self.start,
+                        self.end
+                    );
+                    // Shift to unsigned space so the span never overflows.
+                    let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                    (self.start as i64).wrapping_add(rng.next_below(span) as i64) as $t
+                }
+            }
+        )*
+    };
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsigned_range_in_bounds() {
+        let mut rng = TestRng::for_test("s");
+        let s = 5u32..9;
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((5..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn signed_range_in_bounds() {
+        let mut rng = TestRng::for_test("s2");
+        let s = -4i32..4;
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((-4..4).contains(&v));
+        }
+    }
+
+    #[test]
+    fn full_u64_span_does_not_panic() {
+        let mut rng = TestRng::for_test("s3");
+        let s = 0u64..(1 << 63);
+        for _ in 0..50 {
+            let _ = s.generate(&mut rng);
+        }
+    }
+}

@@ -24,17 +24,26 @@ pub struct EvalScale {
 impl EvalScale {
     /// Quick mode for tests and smoke runs.
     pub fn quick() -> Self {
-        Self { requests: 4_000, full_mt: false }
+        Self {
+            requests: 4_000,
+            full_mt: false,
+        }
     }
 
     /// Default experiment scale.
     pub fn default_scale() -> Self {
-        Self { requests: 24_000, full_mt: false }
+        Self {
+            requests: 24_000,
+            full_mt: false,
+        }
     }
 
     /// Paper-strength runs (slow).
     pub fn full() -> Self {
-        Self { requests: 120_000, full_mt: true }
+        Self {
+            requests: 120_000,
+            full_mt: true,
+        }
     }
 }
 
@@ -48,7 +57,11 @@ pub fn run_one(workload: &Workload, kind: SystemKind, scale: EvalScale) -> RunRe
 /// six MP mixes. (`Average(MT)`/`Average(MP)` rows are computed by the
 /// caller from these.)
 pub fn figure_workloads(scale: EvalScale) -> Vec<Workload> {
-    let mut v = if scale.full_mt { catalog::mt_all() } else { catalog::mt_selected() };
+    let mut v = if scale.full_mt {
+        catalog::mt_all()
+    } else {
+        catalog::mt_selected()
+    };
     v.extend(catalog::mp_workloads());
     v
 }
@@ -67,7 +80,10 @@ pub struct WorkloadEval {
 impl WorkloadEval {
     /// The report for `kind`.
     pub fn report(&self, kind: SystemKind) -> &RunReport {
-        &self.reports[SystemKind::all().iter().position(|k| *k == kind).expect("known kind")]
+        &self.reports[SystemKind::all()
+            .iter()
+            .position(|k| *k == kind)
+            .expect("known kind")]
     }
 }
 
@@ -77,9 +93,15 @@ pub fn evaluate_matrix(scale: EvalScale) -> Vec<WorkloadEval> {
         .into_iter()
         .map(|w| {
             let multi_threaded = !w.name.starts_with("MP");
-            let reports =
-                SystemKind::all().iter().map(|&k| run_one(&w, k, scale)).collect();
-            WorkloadEval { name: w.name.clone(), multi_threaded, reports }
+            let reports = SystemKind::all()
+                .iter()
+                .map(|&k| run_one(&w, k, scale))
+                .collect();
+            WorkloadEval {
+                name: w.name.clone(),
+                multi_threaded,
+                reports,
+            }
         })
         .collect()
 }
@@ -149,7 +171,10 @@ pub fn fig2(writes_per_app: u64) -> Vec<Fig2Row> {
             for (i, h) in hist.iter().enumerate() {
                 fractions[i] = *h as f64 / total;
             }
-            Fig2Row { workload: p.name.to_owned(), fractions }
+            Fig2Row {
+                workload: p.name.to_owned(),
+                fractions,
+            }
         })
         .collect()
 }
@@ -186,7 +211,11 @@ pub fn tab3(scale: EvalScale, workloads: &[Workload]) -> Vec<Tab3Row> {
                 imp_nr += (run(SystemKind::RwowNr).ipc() / base - 1.0) * 100.0;
             }
             let n = workloads.len() as f64;
-            Tab3Row { ratio, rwow_rde_pct: imp_rde / n, rwow_nr_pct: imp_nr / n }
+            Tab3Row {
+                ratio,
+                rwow_rde_pct: imp_rde / n,
+                rwow_nr_pct: imp_nr / n,
+            }
         })
         .collect()
 }
@@ -202,6 +231,9 @@ pub struct Tab4Row {
     pub faulty_imp_pct: f64,
     /// IPC improvement over baseline with no rollbacks.
     pub none_faulty_imp_pct: f64,
+    /// Full report of the always-faulty run (carries the rollback-rate
+    /// telemetry the table summarizes).
+    pub faulty_report: RunReport,
 }
 
 /// Runs Table IV on the paper's four max-rollback workloads.
@@ -228,10 +260,10 @@ pub fn tab4(scale: EvalScale) -> Vec<Tab4Row> {
             let row_reads = faulty.reads_via_row.max(1);
             Tab4Row {
                 workload: w.name.clone(),
-                max_rollback_pct: faulty.consumed_before_check as f64 * 100.0
-                    / row_reads as f64,
+                max_rollback_pct: faulty.consumed_before_check as f64 * 100.0 / row_reads as f64,
                 faulty_imp_pct: (faulty.ipc() / base - 1.0) * 100.0,
                 none_faulty_imp_pct: (clean.ipc() / base - 1.0) * 100.0,
+                faulty_report: faulty,
             }
         })
         .collect()
@@ -245,9 +277,17 @@ mod tests {
     fn fig2_distribution_matches_anchors() {
         let rows = fig2(20_000);
         let cactus = rows.iter().find(|r| r.workload == "cactusADM").unwrap();
-        assert!((cactus.fractions[1] - 0.52).abs() < 0.02, "{}", cactus.fractions[1]);
+        assert!(
+            (cactus.fractions[1] - 0.52).abs() < 0.02,
+            "{}",
+            cactus.fractions[1]
+        );
         let omnet = rows.iter().find(|r| r.workload == "omnetpp").unwrap();
-        assert!((omnet.fractions[1] - 0.14).abs() < 0.02, "{}", omnet.fractions[1]);
+        assert!(
+            (omnet.fractions[1] - 0.14).abs() < 0.02,
+            "{}",
+            omnet.fractions[1]
+        );
         for r in &rows {
             let sum: f64 = r.fractions.iter().sum();
             assert!((sum - 1.0).abs() < 1e-9);
@@ -256,11 +296,16 @@ mod tests {
 
     #[test]
     fn evaluate_matrix_quick_has_all_kinds() {
-        let scale = EvalScale { requests: 600, full_mt: false };
+        let scale = EvalScale {
+            requests: 600,
+            full_mt: false,
+        };
         // Single workload to keep the test fast.
         let w = catalog::by_name("dedup").unwrap();
-        let reports: Vec<_> =
-            SystemKind::all().iter().map(|&k| run_one(&w, k, scale)).collect();
+        let reports: Vec<_> = SystemKind::all()
+            .iter()
+            .map(|&k| run_one(&w, k, scale))
+            .collect();
         assert_eq!(reports.len(), 6);
         for r in &reports {
             assert!(r.writes_completed > 0, "{:?} made no progress", r.kind);

@@ -24,7 +24,10 @@ pub struct TableBuilder {
 impl TableBuilder {
     /// Starts a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -72,6 +75,12 @@ impl TableBuilder {
         }
         out
     }
+
+    /// Renders the table as RFC-4180 CSV (headers first, fields quoted as
+    /// needed) — the machine-readable twin of [`render`](Self::render).
+    pub fn to_csv(&self) -> String {
+        pcmap_obs::csv::format_table(&self.headers, &self.rows)
+    }
 }
 
 /// Formats a ratio as a percentage improvement over a baseline value
@@ -111,6 +120,18 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = TableBuilder::new(&["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_round_trips_through_parser() {
+        let mut t = TableBuilder::new(&["name", "note"]);
+        t.row(&["a,b".into(), "say \"hi\"".into()]);
+        t.row(&["plain".into(), "multi\nline".into()]);
+        let csv = t.to_csv();
+        let parsed = pcmap_obs::csv::parse(&csv);
+        assert_eq!(parsed[0], vec!["name", "note"]);
+        assert_eq!(parsed[1], vec!["a,b", "say \"hi\""]);
+        assert_eq!(parsed[2], vec!["plain", "multi\nline"]);
     }
 
     #[test]

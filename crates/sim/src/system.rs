@@ -3,8 +3,15 @@
 use pcmap_core::{build_controller, RollbackMode, SystemKind};
 use pcmap_cpu::core_model::{cpu_to_mem, mem_to_cpu, CoreAction, CoreModel};
 use pcmap_cpu::{RollbackModel, WorkOp};
-use pcmap_ctrl::{Completion, Controller, MemRequest, ReqId, ReqKind};
-use pcmap_types::{CoreId, CpuParams, Cycle, MemOrg, QueueParams, TimingParams, Xoshiro256};
+use pcmap_ctrl::stats::SERIES_WINDOW;
+use pcmap_ctrl::{Completion, Controller, LatencyHistogram, MemRequest, ReqId, ReqKind};
+use pcmap_obs::{
+    CounterId, Event, EventKind, EventLog, EventSink, MetricRegistry, MetricsSnapshot,
+    StallBreakdown, Value, WindowedSeries, NO_REQ,
+};
+use pcmap_types::{
+    BankId, CoreId, CpuParams, Cycle, MemOrg, QueueParams, TimingParams, Xoshiro256,
+};
 use pcmap_workloads::{CoreStream, StreamOp, Workload};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -141,6 +148,18 @@ pub struct RunReport {
     pub energy_dynamic_nj: f64,
     /// Total PCM energy including background power over the run, nJ.
     pub energy_total_nj: f64,
+    /// Per-channel controller metric snapshots (metric names in DESIGN.md).
+    pub channels: Vec<MetricsSnapshot>,
+    /// Merged core-side counters (retired, stall cycles, rollbacks).
+    pub cores: MetricsSnapshot,
+    /// Simulator-level counters from the injection loop's registry.
+    pub sim: MetricsSnapshot,
+    /// Merged read-latency distribution across channels.
+    pub read_latency_hist: LatencyHistogram,
+    /// Writes completed per window across channels (windowed throughput).
+    pub write_series: WindowedSeries,
+    /// Per-window mean IRLP across channels (windowed IRLP).
+    pub irlp_series: WindowedSeries,
 }
 
 impl RunReport {
@@ -156,6 +175,90 @@ impl RunReport {
     /// Mean IRLP (paper Figure 8 metric).
     pub fn irlp(&self) -> f64 {
         self.irlp_mean
+    }
+
+    /// Rollbacks per RoW-served read (0 if RoW never fired).
+    pub fn rollback_rate(&self) -> f64 {
+        if self.reads_via_row == 0 {
+            0.0
+        } else {
+            self.rollbacks as f64 / self.reads_via_row as f64
+        }
+    }
+
+    /// The per-channel snapshots merged into whole-memory-system totals.
+    pub fn merged_channels(&self) -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        for ch in &self.channels {
+            m.merge(ch);
+        }
+        m
+    }
+
+    /// Renders the full report as a JSON document: headline scalars,
+    /// read-latency percentiles, per-channel counter snapshots, stall
+    /// attribution, and the windowed throughput/IRLP series.
+    pub fn to_json(&self) -> Value {
+        let merged = self.merged_channels();
+        let mut v = Value::obj();
+        v.set("kind", Value::Str(self.kind.label().to_owned()));
+        v.set("workload", Value::Str(self.workload.clone()));
+        v.set("mem_cycles", Value::U64(self.mem_cycles));
+        v.set("instructions", Value::U64(self.instructions));
+        v.set("cpu_cycles", Value::U64(self.cpu_cycles));
+        v.set("ipc", Value::F64(self.ipc()));
+        v.set("reads_completed", Value::U64(self.reads_completed));
+        v.set("writes_completed", Value::U64(self.writes_completed));
+        v.set("mean_read_latency", Value::F64(self.mean_read_latency));
+        v.set("p50_read_latency", Value::U64(self.p50_read_latency));
+        v.set("p95_read_latency", Value::U64(self.p95_read_latency));
+        v.set("p99_read_latency", Value::U64(self.p99_read_latency));
+        v.set(
+            "delayed_read_fraction",
+            Value::F64(self.delayed_read_fraction),
+        );
+        v.set("irlp_mean", Value::F64(self.irlp_mean));
+        v.set("irlp_max", Value::F64(self.irlp_max));
+        v.set("write_throughput", Value::F64(self.write_throughput));
+        v.set(
+            "mean_essential_words",
+            Value::F64(self.mean_essential_words),
+        );
+        v.set(
+            "essential_histogram",
+            Value::Arr(
+                self.essential_histogram
+                    .iter()
+                    .map(|&n| Value::U64(n))
+                    .collect(),
+            ),
+        );
+        v.set("reads_via_row", Value::U64(self.reads_via_row));
+        v.set("wow_overlaps", Value::U64(self.wow_overlaps));
+        v.set("rollbacks", Value::U64(self.rollbacks));
+        v.set("rollback_rate", Value::F64(self.rollback_rate()));
+        v.set(
+            "consumed_before_check",
+            Value::U64(self.consumed_before_check),
+        );
+        v.set("reads_forwarded", Value::U64(self.reads_forwarded));
+        v.set("drains", Value::U64(self.drains));
+        v.set("ecc_corrected", Value::U64(self.ecc_corrected));
+        v.set("ecc_uncorrectable", Value::U64(self.ecc_uncorrectable));
+        v.set("wear_imbalance", Value::F64(self.wear_imbalance));
+        v.set("energy_dynamic_nj", Value::F64(self.energy_dynamic_nj));
+        v.set("energy_total_nj", Value::F64(self.energy_total_nj));
+        v.set("read_latency", self.read_latency_hist.to_json());
+        v.set("stalls", StallBreakdown::from_snapshot(&merged).to_json());
+        v.set(
+            "channels",
+            Value::Arr(self.channels.iter().map(|c| c.to_json()).collect()),
+        );
+        v.set("cores", self.cores.to_json());
+        v.set("sim", self.sim.to_json());
+        v.set("write_series", self.write_series.to_json());
+        v.set("irlp_series", self.irlp_series.to_json());
+        v
     }
 }
 
@@ -199,6 +302,14 @@ pub struct System {
     issued_per_core: Vec<u64>,
     deliveries: BinaryHeap<Reverse<Delivery>>,
     crawl_steps: u32,
+    /// Simulator-level metric registry (injection-loop accounting).
+    registry: MetricRegistry,
+    m_requests: CounterId,
+    m_retries: CounterId,
+    m_rollbacks: CounterId,
+    /// System-level lifecycle events (rollbacks; controller-agnostic, so
+    /// `bank`/`req` carry placeholder values). Off unless tracing is on.
+    events: EventLog,
 }
 
 impl System {
@@ -229,8 +340,9 @@ impl System {
                 )
             })
             .collect();
-        let cores: Vec<CoreModel> =
-            (0..cfg.cpu.cores).map(|i| CoreModel::new(CoreId(i), &cfg.cpu)).collect();
+        let cores: Vec<CoreModel> = (0..cfg.cpu.cores)
+            .map(|i| CoreModel::new(CoreId(i), &cfg.cpu))
+            .collect();
         let streams = workload
             .per_core
             .iter()
@@ -253,6 +365,10 @@ impl System {
             .collect();
         let budget_per_core = (cfg.max_requests / cfg.cpu.cores as u64).max(1);
         let n = cores.len();
+        let mut registry = MetricRegistry::new();
+        let m_requests = registry.counter("requests_issued");
+        let m_retries = registry.counter("enqueue_retries");
+        let m_rollbacks = registry.counter("rollbacks_charged");
         Self {
             cfg,
             workload_name: workload.name,
@@ -268,15 +384,26 @@ impl System {
             issued_per_core: vec![0; n],
             deliveries: BinaryHeap::new(),
             crawl_steps: 0,
+            registry,
+            m_requests,
+            m_retries,
+            m_rollbacks,
+            events: EventLog::disabled(),
         }
     }
 
-    /// Enables chip-occupancy tracing on every channel (for timeline
-    /// rendering; keep runs short).
+    /// Enables lifecycle event recording on every channel and on the
+    /// system-level log (for timeline rendering; keep runs short).
     pub fn enable_tracing(&mut self) {
         for c in &mut self.ctrls {
             c.set_trace(true);
         }
+        self.events.set_enabled(true);
+    }
+
+    /// The system-level event log (rollback events).
+    pub fn events(&self) -> &EventLog {
+        &self.events
     }
 
     /// Access to the per-channel controllers (inspection, fault injection).
@@ -338,10 +465,19 @@ impl System {
                     panic!(
                         "simulation livelock at {:?}: rq={:?} wq={:?} deliveries={} cores_fin={:?}",
                         now,
-                        self.ctrls.iter().map(|c| c.read_q_len()).collect::<Vec<_>>(),
-                        self.ctrls.iter().map(|c| c.write_q_len()).collect::<Vec<_>>(),
+                        self.ctrls
+                            .iter()
+                            .map(|c| c.read_q_len())
+                            .collect::<Vec<_>>(),
+                        self.ctrls
+                            .iter()
+                            .map(|c| c.write_q_len())
+                            .collect::<Vec<_>>(),
                         self.deliveries.len(),
-                        self.cores.iter().map(|c| c.is_finished()).collect::<Vec<_>>(),
+                        self.cores
+                            .iter()
+                            .map(|c| c.is_finished())
+                            .collect::<Vec<_>>(),
                     );
                 }
                 now = Cycle(now.0 + 1);
@@ -372,6 +508,13 @@ impl System {
                 if let Some((at, penalty)) = self.rollback[d.core].on_row_read(vd) {
                     let cpu_at = mem_to_cpu(at, &self.cfg.cpu);
                     self.cores[d.core].rollback(cpu_at, penalty);
+                    self.registry.add(self.m_rollbacks, 1);
+                    self.events.record(Event {
+                        at,
+                        req: NO_REQ,
+                        bank: BankId(0),
+                        kind: EventKind::Rollback,
+                    });
                 }
             }
         }
@@ -397,9 +540,7 @@ impl System {
                     } else {
                         let op = self.streams[i].next_op();
                         match op {
-                            StreamOp::Compute(n) => {
-                                self.cores[i].supply(Some(WorkOp::Compute(n)))
-                            }
+                            StreamOp::Compute(n) => self.cores[i].supply(Some(WorkOp::Compute(n))),
                             StreamOp::Read(_) => {
                                 self.op_details[i] = Some(op);
                                 self.cores[i].supply(Some(WorkOp::Read));
@@ -473,7 +614,14 @@ impl System {
             ReqKind::Read
         };
 
-        let req = MemRequest { id, kind, line: addr.line(), loc, core: CoreId(i as u8), arrival: now };
+        let req = MemRequest {
+            id,
+            kind,
+            line: addr.line(),
+            loc,
+            core: CoreId(i as u8),
+            arrival: now,
+        };
 
         let outcome = if is_read {
             self.ctrls[ch].enqueue_read(req, now).map(|fwd| {
@@ -493,9 +641,11 @@ impl System {
                 self.next_req += 1;
                 self.issued_per_core[i] += 1;
                 self.op_details[i] = None;
+                self.registry.add(self.m_requests, 1);
                 true
             }
             Err(_) => {
+                self.registry.add(self.m_retries, 1);
                 let retry = self.ctrls[ch]
                     .next_wake(now)
                     .unwrap_or(Cycle(now.0 + 8))
@@ -517,65 +667,68 @@ impl System {
             && self.ctrls.iter().all(|c| c.next_wake(now).is_none())
     }
 
+    /// Per-channel metric snapshots, each augmented with the channel's
+    /// drain count (tracked by the controller, not `CtrlStats`).
+    fn channel_snapshots(&self) -> Vec<MetricsSnapshot> {
+        self.ctrls
+            .iter()
+            .map(|ctrl| {
+                let mut s = ctrl.stats().snapshot();
+                s.set_counter("drains_started", ctrl.drains_started());
+                s
+            })
+            .collect()
+    }
+
     fn report(&self, now: Cycle) -> RunReport {
-        let mut reads = 0;
-        let mut writes = 0;
-        let mut lat_sum = 0.0;
-        let mut delayed = 0u64;
-        let mut via_row = 0;
-        let mut wow = 0;
-        let mut fwd = 0;
-        let mut bm = 0;
-        let mut bp = 0;
-        let mut wb = (0, 0, 0);
-        let mut rdo = 0;
-        let mut drains = 0;
-        let mut ecc_c = 0;
-        let mut ecc_u = 0;
-        let mut hist = [0u64; 9];
-        let mut irlp_samples = 0usize;
-        let mut irlp_sum = 0.0;
-        let mut irlp_max = 0.0f64;
+        // Every controller-side number below comes out of the mergeable
+        // snapshots — the same stream any telemetry consumer sees.
+        let channels = self.channel_snapshots();
+        let mut merged = MetricsSnapshot::new();
+        for ch in &channels {
+            merged.merge(ch);
+        }
+
         let mut wear_imb = 0.0;
         let mut energy = pcmap_device::EnergyMeter::new();
-        let mut lat_hist = pcmap_ctrl::LatencyHistogram::new();
+        let mut lat_hist = LatencyHistogram::new();
+        let mut write_series = WindowedSeries::new(SERIES_WINDOW);
+        let mut irlp_series = WindowedSeries::new(SERIES_WINDOW);
         for ctrl in &self.ctrls {
-            lat_hist.merge(&ctrl.stats().read_latency_hist);
             let e = ctrl.rank().energy();
             energy.record_read(e.bits_read);
             energy.record_write(e.bits_set, e.bits_reset);
-            drains += ctrl.drains_started();
-            let s = ctrl.stats();
-            reads += s.reads_done;
-            writes += s.writes_done;
-            lat_sum += s.read_latency_sum.as_u64() as f64;
-            delayed += s.reads_delayed_by_write;
-            via_row += s.reads_via_row;
-            wow += s.wow_overlaps;
-            fwd += s.reads_forwarded;
-            bm += s.row_blocked_multi_busy;
-            bp += s.row_blocked_pcc_busy;
-            wb.0 += s.wr_blocked_data;
-            wb.1 += s.wr_blocked_ecc;
-            wb.2 += s.wr_blocked_pcc;
-            rdo += s.reads_deferred_only;
-            ecc_c += s.ecc_corrected;
-            ecc_u += s.ecc_uncorrectable;
-            for (i, h) in s.essential_histogram.iter().enumerate() {
-                hist[i] += h;
-            }
-            irlp_samples += s.irlp.samples().len();
-            irlp_sum += s.irlp.samples().iter().sum::<f64>();
-            irlp_max = irlp_max.max(s.irlp.max());
             wear_imb = f64::max(wear_imb, ctrl.rank().wear().imbalance());
+            write_series.merge(&ctrl.stats().write_series);
+            for &(end, sample) in ctrl.stats().irlp.timed_samples() {
+                irlp_series.record(end.0, sample);
+            }
+        }
+        if let Some(h) = merged.histogram("read_latency") {
+            lat_hist.merge(h);
+        }
+
+        let reads = merged.counter("reads_done");
+        let writes = merged.counter("writes_done");
+        let lat_sum = merged.counter("read_latency_sum") as f64;
+        let delayed = merged.counter("reads_delayed_by_write");
+        let mut hist = [0u64; 9];
+        for (i, h) in hist.iter_mut().enumerate() {
+            *h = merged.counter(&format!("essential_words_{i}"));
         }
         let total_hist: u64 = hist.iter().sum();
         let mean_essential = if total_hist == 0 {
             0.0
         } else {
-            hist.iter().enumerate().map(|(i, &n)| i as u64 * n).sum::<u64>() as f64
+            hist.iter()
+                .enumerate()
+                .map(|(i, &n)| i as u64 * n)
+                .sum::<u64>() as f64
                 / total_hist as f64
         };
+        let irlp_samples = merged.counter("irlp_samples");
+        let irlp_sum = merged.gauge("irlp_sum").unwrap_or(0.0);
+        let irlp_max = merged.gauge("irlp_max").unwrap_or(0.0);
         let instructions: u64 = self.cores.iter().map(|c| c.stats().retired).sum();
         let cpu_cycles = self.cores.iter().map(|c| c.now()).max().unwrap_or(0);
         let rollbacks: u64 = self.cores.iter().map(|c| c.stats().rollbacks).sum();
@@ -584,6 +737,10 @@ impl System {
             .iter()
             .map(|m| (m.consumed_fraction() * m.row_reads() as f64).round() as u64)
             .sum();
+        let mut cores = MetricsSnapshot::new();
+        for c in &self.cores {
+            cores.merge(&c.stats().snapshot());
+        }
         RunReport {
             kind: self.cfg.kind,
             workload: self.workload_name.clone(),
@@ -592,34 +749,72 @@ impl System {
             cpu_cycles,
             reads_completed: reads,
             writes_completed: writes,
-            mean_read_latency: if reads == 0 { 0.0 } else { lat_sum / reads as f64 },
-            p50_read_latency: if reads == 0 { 0 } else { lat_hist.percentile(50.0) },
-            p95_read_latency: if reads == 0 { 0 } else { lat_hist.percentile(95.0) },
-            p99_read_latency: if reads == 0 { 0 } else { lat_hist.percentile(99.0) },
-            delayed_read_fraction: if reads == 0 { 0.0 } else { delayed as f64 / reads as f64 },
-            irlp_mean: if irlp_samples == 0 { 0.0 } else { irlp_sum / irlp_samples as f64 },
+            mean_read_latency: if reads == 0 {
+                0.0
+            } else {
+                lat_sum / reads as f64
+            },
+            p50_read_latency: if reads == 0 {
+                0
+            } else {
+                lat_hist.percentile(50.0)
+            },
+            p95_read_latency: if reads == 0 {
+                0
+            } else {
+                lat_hist.percentile(95.0)
+            },
+            p99_read_latency: if reads == 0 {
+                0
+            } else {
+                lat_hist.percentile(99.0)
+            },
+            delayed_read_fraction: if reads == 0 {
+                0.0
+            } else {
+                delayed as f64 / reads as f64
+            },
+            irlp_mean: if irlp_samples == 0 {
+                0.0
+            } else {
+                irlp_sum / irlp_samples as f64
+            },
             irlp_max,
-            write_throughput: if now.0 == 0 { 0.0 } else { writes as f64 * 1000.0 / now.0 as f64 },
+            write_throughput: if now.0 == 0 {
+                0.0
+            } else {
+                writes as f64 * 1000.0 / now.0 as f64
+            },
             mean_essential_words: mean_essential,
             essential_histogram: hist,
-            reads_via_row: via_row,
-            wow_overlaps: wow,
+            reads_via_row: merged.counter("reads_via_row"),
+            wow_overlaps: merged.counter("wow_overlaps"),
             rollbacks,
             consumed_before_check: consumed,
-            reads_forwarded: fwd,
-            row_blocked_multi: bm,
-            row_blocked_pcc: bp,
-            wr_blocked: wb,
-            reads_deferred_only: rdo,
-            drains,
-            ecc_corrected: ecc_c,
-            ecc_uncorrectable: ecc_u,
+            reads_forwarded: merged.counter("reads_forwarded"),
+            row_blocked_multi: merged.counter("row_blocked_multi_busy"),
+            row_blocked_pcc: merged.counter("row_blocked_pcc_busy"),
+            wr_blocked: (
+                merged.counter("wr_blocked_data"),
+                merged.counter("wr_blocked_ecc"),
+                merged.counter("wr_blocked_pcc"),
+            ),
+            reads_deferred_only: merged.counter("reads_deferred_only"),
+            drains: merged.counter("drains_started"),
+            ecc_corrected: merged.counter("ecc_corrected"),
+            ecc_uncorrectable: merged.counter("ecc_uncorrectable"),
             energy_dynamic_nj: energy.dynamic_nj(&pcmap_device::EnergyParams::default()),
             energy_total_nj: energy.total_nj(
                 &pcmap_device::EnergyParams::default(),
                 Cycle(now.0).as_nanos() * self.ctrls.len() as f64,
             ),
             wear_imbalance: wear_imb,
+            channels,
+            cores,
+            sim: self.registry.snapshot(),
+            read_latency_hist: lat_hist,
+            write_series,
+            irlp_series,
         }
     }
 }
@@ -686,11 +881,78 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_does_not_change_simulation() {
+        let wl = catalog::by_name("streamcluster").unwrap();
+        let cfg = SimConfig::paper_default(SystemKind::RwowRde).with_requests(600);
+        let off = System::new(cfg.clone(), wl.clone()).run();
+        let mut traced = System::new(cfg, wl);
+        traced.enable_tracing();
+        let on = traced.run();
+        assert_eq!(off.mem_cycles, on.mem_cycles);
+        assert_eq!(off.instructions, on.instructions);
+        assert_eq!(off.cpu_cycles, on.cpu_cycles);
+        assert_eq!(off.reads_completed, on.reads_completed);
+        assert_eq!(off.writes_completed, on.writes_completed);
+        assert_eq!(off.essential_histogram, on.essential_histogram);
+        assert_eq!(off.reads_via_row, on.reads_via_row);
+        assert_eq!(off.rollbacks, on.rollbacks);
+    }
+
+    #[test]
+    fn report_reconciles_with_channel_snapshots() {
+        let r = small_run(SystemKind::RwowRde, 600);
+        assert_eq!(r.channels.len(), 4);
+        let merged = r.merged_channels();
+        assert_eq!(merged.counter("reads_done"), r.reads_completed);
+        assert_eq!(merged.counter("writes_done"), r.writes_completed);
+        assert_eq!(merged.counter("reads_via_row"), r.reads_via_row);
+        assert_eq!(merged.counter("drains_started"), r.drains);
+        assert_eq!(
+            merged.histogram("read_latency").unwrap().count(),
+            r.read_latency_hist.count()
+        );
+        assert_eq!(r.cores.counter("retired"), r.instructions);
+        assert_eq!(r.sim.counter("rollbacks_charged"), r.rollbacks);
+        // Windowed write series totals the completed writes.
+        assert_eq!(r.write_series.total_count(), r.writes_completed);
+    }
+
+    #[test]
+    fn report_json_is_valid_and_complete() {
+        let r = small_run(SystemKind::RwowRde, 600);
+        let text = r.to_json().to_json_string();
+        let parsed = pcmap_obs::json::parse(&text).expect("report JSON parses");
+        assert_eq!(
+            parsed.get("workload"),
+            Some(&Value::Str("streamcluster".into()))
+        );
+        assert_eq!(
+            parsed.get("reads_completed"),
+            Some(&Value::U64(r.reads_completed))
+        );
+        assert!(parsed.get("p95_read_latency").is_some());
+        assert!(parsed.get("irlp_mean").is_some());
+        assert!(parsed.get("rollback_rate").is_some());
+        assert!(parsed.get("stalls").is_some());
+        let chans = parsed.get("channels").expect("channels present");
+        if let Value::Arr(items) = chans {
+            assert_eq!(items.len(), 4);
+            assert!(items[0].get("counters").is_some());
+        } else {
+            panic!("channels must be a JSON array");
+        }
+    }
+
+    #[test]
     fn pcmap_beats_baseline_on_read_latency_and_ipc() {
         // Needs a memory-intensive workload for contention to matter.
         let wl = catalog::by_name("canneal").unwrap();
         let run = |kind: SystemKind| {
-            System::new(SimConfig::paper_default(kind).with_requests(4_000), wl.clone()).run()
+            System::new(
+                SimConfig::paper_default(kind).with_requests(4_000),
+                wl.clone(),
+            )
+            .run()
         };
         let base = run(SystemKind::Baseline);
         let rde = run(SystemKind::RwowRde);
@@ -700,7 +962,12 @@ mod tests {
             rde.mean_read_latency,
             base.mean_read_latency
         );
-        assert!(rde.ipc() > base.ipc(), "RDE {} vs baseline {}", rde.ipc(), base.ipc());
+        assert!(
+            rde.ipc() > base.ipc(),
+            "RDE {} vs baseline {}",
+            rde.ipc(),
+            base.ipc()
+        );
         assert!(rde.irlp_mean > base.irlp_mean, "IRLP must improve");
         assert!(rde.write_throughput > base.write_throughput);
     }

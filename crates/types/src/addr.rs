@@ -202,7 +202,13 @@ mod tests {
     #[test]
     fn encode_decode_round_trip() {
         let org = MemOrg::paper_default();
-        let line = org.encode(ChannelId(3), RankId(0), BankId(5), RowAddr(1234), ColAddr(77));
+        let line = org.encode(
+            ChannelId(3),
+            RankId(0),
+            BankId(5),
+            RowAddr(1234),
+            ColAddr(77),
+        );
         let loc = org.decode(line.base());
         assert_eq!(loc.channel, ChannelId(3));
         assert_eq!(loc.bank, BankId(5));

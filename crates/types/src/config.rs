@@ -69,7 +69,9 @@ impl MemOrg {
             return Err(ConfigError::new("memory organization has a zero dimension"));
         }
         if self.data_chips != 8 {
-            return Err(ConfigError::new("PCMap layouts require exactly 8 data chips per rank"));
+            return Err(ConfigError::new(
+                "PCMap layouts require exactly 8 data chips per rank",
+            ));
         }
         Ok(())
     }
@@ -129,9 +131,9 @@ impl TimingParams {
             t_rrd_act: 2,
             t_rrd_pre: 11,
             burst: 4,
-            array_read: 24,   // 60 ns
-            array_reset: 20,  // 50 ns
-            array_set: 48,    // 120 ns
+            array_read: 24,  // 60 ns
+            array_reset: 20, // 50 ns
+            array_set: 48,   // 120 ns
             status_cmd: 2,
         }
     }
@@ -179,8 +181,7 @@ impl TimingParams {
     /// Returns [`ConfigError`] if any latency is zero or the SET time is
     /// shorter than the RESET time.
     pub fn validate(&self) -> Result<()> {
-        if self.array_read == 0 || self.array_set == 0 || self.array_reset == 0 || self.burst == 0
-        {
+        if self.array_read == 0 || self.array_set == 0 || self.array_reset == 0 || self.burst == 0 {
             return Err(ConfigError::new("timing parameters must be positive"));
         }
         if self.array_set < self.array_reset {
@@ -213,7 +214,12 @@ impl QueueParams {
     /// Table I / §V values: 8-entry read queue, 32-entry write queue,
     /// α = 80 % high watermark, 20 % low watermark.
     pub fn paper_default() -> Self {
-        Self { read_q: 8, write_q: 32, drain_high: 0.80, drain_low: 0.20 }
+        Self {
+            read_q: 8,
+            write_q: 32,
+            drain_high: 0.80,
+            drain_low: 0.20,
+        }
     }
 
     /// Write-queue occupancy (entries) at which draining starts.
@@ -242,7 +248,9 @@ impl QueueParams {
             || !(0.0..=1.0).contains(&self.drain_high)
             || self.drain_low >= self.drain_high
         {
-            return Err(ConfigError::new("drain watermarks must satisfy 0 <= low < high <= 1"));
+            return Err(ConfigError::new(
+                "drain watermarks must satisfy 0 <= low < high <= 1",
+            ));
         }
         Ok(())
     }

@@ -40,7 +40,9 @@ impl CacheLine {
     /// A line of all zero bytes.
     #[inline]
     pub fn zeroed() -> Self {
-        Self { words: [0; WORDS_PER_LINE] }
+        Self {
+            words: [0; WORDS_PER_LINE],
+        }
     }
 
     /// Builds a line from eight words (word 0 first).

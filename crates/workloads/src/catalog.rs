@@ -45,44 +45,233 @@ fn app(
 /// The SPEC CPU 2006 programs used across Figures 1, 2 and the MP mixes.
 pub fn spec_apps() -> Vec<AppProfile> {
     vec![
-        app("mcf", 10.2, 3.0, [8.0, 30.0, 22.0, 14.0, 10.0, 6.0, 4.0, 3.0, 3.0], 0.30, ROLLBACK_AVG),
-        app("lbm", 7.5, 4.8, [2.0, 14.0, 12.0, 10.0, 12.0, 14.0, 12.0, 10.0, 14.0], 0.85, ROLLBACK_AVG),
-        app("milc", 5.8, 2.4, [6.0, 25.0, 20.0, 14.0, 12.0, 8.0, 6.0, 4.0, 5.0], 0.55, ROLLBACK_AVG),
-        app("leslie3d", 4.9, 2.1, [4.0, 20.0, 22.0, 16.0, 12.0, 10.0, 6.0, 4.0, 6.0], 0.70, ROLLBACK_AVG),
-        app("gemsFDTD", 4.15, 2.6, [5.0, 22.0, 24.0, 16.0, 10.0, 8.0, 6.0, 4.0, 5.0], 0.65, ROLLBACK_AVG),
-        app("libquantum", 6.5, 1.4, [3.0, 45.0, 25.0, 10.0, 6.0, 4.0, 3.0, 2.0, 2.0], 0.90, ROLLBACK_AVG),
-        app("soplex", 4.4, 1.8, [7.0, 28.0, 20.0, 13.0, 10.0, 8.0, 6.0, 4.0, 4.0], 0.50, ROLLBACK_AVG),
-        app("cactusADM", 3.6, 2.2, [4.0, 52.0, 15.0, 8.0, 7.0, 5.0, 4.0, 2.0, 3.0], 0.60, ROLLBACK_AVG),
-        app("omnetpp", 3.1, 1.7, [12.0, 14.0, 17.0, 13.0, 12.0, 10.0, 8.0, 6.0, 8.0], 0.35, ROLLBACK_AVG),
-        app("astar", 8.05, 5.65, [9.0, 32.0, 21.0, 12.0, 9.0, 7.0, 5.0, 3.0, 2.0], 0.40, ROLLBACK_AVG),
-        app("sphinx3", 3.4, 1.2, [6.0, 35.0, 22.0, 12.0, 9.0, 6.0, 4.0, 3.0, 3.0], 0.55, ROLLBACK_AVG),
-        app("gromacs", 1.4, 0.7, [8.0, 30.0, 22.0, 13.0, 9.0, 7.0, 5.0, 3.0, 3.0], 0.60, ROLLBACK_AVG),
-        app("h264ref", 1.1, 0.6, [10.0, 26.0, 20.0, 14.0, 10.0, 8.0, 6.0, 3.0, 3.0], 0.65, ROLLBACK_AVG),
+        app(
+            "mcf",
+            10.2,
+            3.0,
+            [8.0, 30.0, 22.0, 14.0, 10.0, 6.0, 4.0, 3.0, 3.0],
+            0.30,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "lbm",
+            7.5,
+            4.8,
+            [2.0, 14.0, 12.0, 10.0, 12.0, 14.0, 12.0, 10.0, 14.0],
+            0.85,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "milc",
+            5.8,
+            2.4,
+            [6.0, 25.0, 20.0, 14.0, 12.0, 8.0, 6.0, 4.0, 5.0],
+            0.55,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "leslie3d",
+            4.9,
+            2.1,
+            [4.0, 20.0, 22.0, 16.0, 12.0, 10.0, 6.0, 4.0, 6.0],
+            0.70,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "gemsFDTD",
+            4.15,
+            2.6,
+            [5.0, 22.0, 24.0, 16.0, 10.0, 8.0, 6.0, 4.0, 5.0],
+            0.65,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "libquantum",
+            6.5,
+            1.4,
+            [3.0, 45.0, 25.0, 10.0, 6.0, 4.0, 3.0, 2.0, 2.0],
+            0.90,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "soplex",
+            4.4,
+            1.8,
+            [7.0, 28.0, 20.0, 13.0, 10.0, 8.0, 6.0, 4.0, 4.0],
+            0.50,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "cactusADM",
+            3.6,
+            2.2,
+            [4.0, 52.0, 15.0, 8.0, 7.0, 5.0, 4.0, 2.0, 3.0],
+            0.60,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "omnetpp",
+            3.1,
+            1.7,
+            [12.0, 14.0, 17.0, 13.0, 12.0, 10.0, 8.0, 6.0, 8.0],
+            0.35,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "astar",
+            8.05,
+            5.65,
+            [9.0, 32.0, 21.0, 12.0, 9.0, 7.0, 5.0, 3.0, 2.0],
+            0.40,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "sphinx3",
+            3.4,
+            1.2,
+            [6.0, 35.0, 22.0, 12.0, 9.0, 6.0, 4.0, 3.0, 3.0],
+            0.55,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "gromacs",
+            1.4,
+            0.7,
+            [8.0, 30.0, 22.0, 13.0, 9.0, 7.0, 5.0, 3.0, 3.0],
+            0.60,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "h264ref",
+            1.1,
+            0.6,
+            [10.0, 26.0, 20.0, 14.0, 10.0, 8.0, 6.0, 3.0, 3.0],
+            0.65,
+            ROLLBACK_AVG,
+        ),
     ]
 }
 
 /// The PARSEC-2 programs (all 13, for the paper's Average(MT)).
 pub fn parsec_apps() -> Vec<AppProfile> {
     vec![
-        app("canneal", 15.19, 7.13, [6.0, 28.0, 22.0, 14.0, 10.0, 8.0, 5.0, 3.0, 4.0], 0.25, 0.058),
-        app("dedup", 3.04, 2.072, [8.0, 30.0, 20.0, 12.0, 10.0, 8.0, 5.0, 3.0, 4.0], 0.45, ROLLBACK_AVG),
-        app("facesim", 6.66, 1.26, [5.0, 24.0, 22.0, 16.0, 12.0, 9.0, 5.0, 3.0, 4.0], 0.60, 0.041),
-        app("fluidanimate", 5.54, 1.51, [6.0, 26.0, 22.0, 15.0, 11.0, 8.0, 5.0, 3.0, 4.0], 0.65, ROLLBACK_AVG),
-        app("freqmine", 0.78, 3.33, [10.0, 20.0, 18.0, 14.0, 12.0, 10.0, 7.0, 4.0, 5.0], 0.50, ROLLBACK_AVG),
-        app("streamcluster", 5.19, 2.13, [4.0, 38.0, 24.0, 12.0, 8.0, 6.0, 4.0, 2.0, 2.0], 0.80, ROLLBACK_AVG),
-        app("blackscholes", 0.6, 0.3, [10.0, 35.0, 20.0, 12.0, 8.0, 6.0, 4.0, 2.0, 3.0], 0.75, ROLLBACK_AVG),
-        app("bodytrack", 1.8, 0.7, [9.0, 28.0, 21.0, 13.0, 10.0, 8.0, 5.0, 3.0, 3.0], 0.55, ROLLBACK_AVG),
-        app("ferret", 4.2, 1.9, [7.0, 30.0, 22.0, 13.0, 9.0, 7.0, 5.0, 3.0, 4.0], 0.50, 0.022),
-        app("swaptions", 0.5, 0.2, [12.0, 30.0, 20.0, 12.0, 9.0, 7.0, 5.0, 2.0, 3.0], 0.70, ROLLBACK_AVG),
-        app("vips", 2.9, 1.3, [8.0, 26.0, 21.0, 14.0, 10.0, 8.0, 6.0, 3.0, 4.0], 0.70, ROLLBACK_AVG),
-        app("x264", 2.3, 1.0, [9.0, 24.0, 20.0, 15.0, 11.0, 8.0, 6.0, 3.0, 4.0], 0.75, ROLLBACK_AVG),
-        app("raytrace", 1.6, 0.6, [10.0, 27.0, 20.0, 13.0, 10.0, 8.0, 6.0, 3.0, 3.0], 0.45, ROLLBACK_AVG),
+        app(
+            "canneal",
+            15.19,
+            7.13,
+            [6.0, 28.0, 22.0, 14.0, 10.0, 8.0, 5.0, 3.0, 4.0],
+            0.25,
+            0.058,
+        ),
+        app(
+            "dedup",
+            3.04,
+            2.072,
+            [8.0, 30.0, 20.0, 12.0, 10.0, 8.0, 5.0, 3.0, 4.0],
+            0.45,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "facesim",
+            6.66,
+            1.26,
+            [5.0, 24.0, 22.0, 16.0, 12.0, 9.0, 5.0, 3.0, 4.0],
+            0.60,
+            0.041,
+        ),
+        app(
+            "fluidanimate",
+            5.54,
+            1.51,
+            [6.0, 26.0, 22.0, 15.0, 11.0, 8.0, 5.0, 3.0, 4.0],
+            0.65,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "freqmine",
+            0.78,
+            3.33,
+            [10.0, 20.0, 18.0, 14.0, 12.0, 10.0, 7.0, 4.0, 5.0],
+            0.50,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "streamcluster",
+            5.19,
+            2.13,
+            [4.0, 38.0, 24.0, 12.0, 8.0, 6.0, 4.0, 2.0, 2.0],
+            0.80,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "blackscholes",
+            0.6,
+            0.3,
+            [10.0, 35.0, 20.0, 12.0, 8.0, 6.0, 4.0, 2.0, 3.0],
+            0.75,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "bodytrack",
+            1.8,
+            0.7,
+            [9.0, 28.0, 21.0, 13.0, 10.0, 8.0, 5.0, 3.0, 3.0],
+            0.55,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "ferret",
+            4.2,
+            1.9,
+            [7.0, 30.0, 22.0, 13.0, 9.0, 7.0, 5.0, 3.0, 4.0],
+            0.50,
+            0.022,
+        ),
+        app(
+            "swaptions",
+            0.5,
+            0.2,
+            [12.0, 30.0, 20.0, 12.0, 9.0, 7.0, 5.0, 2.0, 3.0],
+            0.70,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "vips",
+            2.9,
+            1.3,
+            [8.0, 26.0, 21.0, 14.0, 10.0, 8.0, 6.0, 3.0, 4.0],
+            0.70,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "x264",
+            2.3,
+            1.0,
+            [9.0, 24.0, 20.0, 15.0, 11.0, 8.0, 6.0, 3.0, 4.0],
+            0.75,
+            ROLLBACK_AVG,
+        ),
+        app(
+            "raytrace",
+            1.6,
+            0.6,
+            [10.0, 27.0, 20.0, 13.0, 10.0, 8.0, 6.0, 3.0, 3.0],
+            0.45,
+            ROLLBACK_AVG,
+        ),
     ]
 }
 
 /// The STREAM kernel: sequential, write-heavy, near-full-line updates.
 pub fn stream_app() -> AppProfile {
-    app("stream", 12.0, 8.0, [1.0, 4.0, 6.0, 8.0, 12.0, 18.0, 16.0, 14.0, 21.0], 0.95, ROLLBACK_AVG)
+    app(
+        "stream",
+        12.0,
+        8.0,
+        [1.0, 4.0, 6.0, 8.0, 12.0, 18.0, 16.0, 14.0, 21.0],
+        0.95,
+        ROLLBACK_AVG,
+    )
 }
 
 /// How a workload was assembled.
@@ -152,7 +341,11 @@ impl Workload {
             p.rpki *= target_rpki / mean_r;
             p.wpki *= target_wpki / mean_w;
         }
-        Self { name: name.to_owned(), per_core, kind: WorkloadKind::MultiProgrammed }
+        Self {
+            name: name.to_owned(),
+            per_core,
+            kind: WorkloadKind::MultiProgrammed,
+        }
     }
 
     /// Aggregate reads per kilo-instruction (mean over cores).
@@ -167,7 +360,10 @@ impl Workload {
 
     /// The workload's consumed-before-check probability (worst core).
     pub fn rollback_p(&self) -> f64 {
-        self.per_core.iter().map(|p| p.rollback_p).fold(0.0, f64::max)
+        self.per_core
+            .iter()
+            .map(|p| p.rollback_p)
+            .fold(0.0, f64::max)
     }
 
     /// Mean essential words per write-back, weighted by WPKI.
@@ -176,26 +372,43 @@ impl Workload {
         if wsum == 0.0 {
             return 0.0;
         }
-        self.per_core.iter().map(|p| p.mean_dirty_words() * p.wpki).sum::<f64>() / wsum
+        self.per_core
+            .iter()
+            .map(|p| p.mean_dirty_words() * p.wpki)
+            .sum::<f64>()
+            / wsum
     }
 }
 
 /// The six Table II multi-threaded workloads.
 pub fn mt_selected() -> Vec<Workload> {
     let parsec = parsec_apps();
-    ["canneal", "dedup", "facesim", "fluidanimate", "freqmine", "streamcluster"]
-        .iter()
-        .map(|n| {
-            Workload::multi_threaded(
-                *parsec.iter().find(|p| p.name == *n).expect("catalog program"),
-            )
-        })
-        .collect()
+    [
+        "canneal",
+        "dedup",
+        "facesim",
+        "fluidanimate",
+        "freqmine",
+        "streamcluster",
+    ]
+    .iter()
+    .map(|n| {
+        Workload::multi_threaded(
+            *parsec
+                .iter()
+                .find(|p| p.name == *n)
+                .expect("catalog program"),
+        )
+    })
+    .collect()
 }
 
 /// All 13 PARSEC workloads (for Average(MT)).
 pub fn mt_all() -> Vec<Workload> {
-    parsec_apps().into_iter().map(Workload::multi_threaded).collect()
+    parsec_apps()
+        .into_iter()
+        .map(Workload::multi_threaded)
+        .collect()
 }
 
 /// The six Table II multi-programmed mixes with MP6's Table IV rollback
@@ -204,12 +417,37 @@ pub fn mp_workloads() -> Vec<Workload> {
     let spec = spec_apps();
     let get = |n: &str| *spec.iter().find(|p| p.name == n).expect("catalog program");
     let mut out = vec![
-        Workload::mix("MP1", &[get("mcf"), get("gemsFDTD"), get("astar"), get("sphinx3")], 6.45, 3.11),
-        Workload::mix("MP2", &[get("mcf"), get("gromacs"), get("gemsFDTD"), get("h264ref")], 2.68, 1.56),
-        Workload::mix("MP3", &[get("gromacs"), get("h264ref"), get("astar"), get("sphinx3")], 2.31, 1.08),
+        Workload::mix(
+            "MP1",
+            &[get("mcf"), get("gemsFDTD"), get("astar"), get("sphinx3")],
+            6.45,
+            3.11,
+        ),
+        Workload::mix(
+            "MP2",
+            &[get("mcf"), get("gromacs"), get("gemsFDTD"), get("h264ref")],
+            2.68,
+            1.56,
+        ),
+        Workload::mix(
+            "MP3",
+            &[get("gromacs"), get("h264ref"), get("astar"), get("sphinx3")],
+            2.31,
+            1.08,
+        ),
         Workload::mix("MP4", &[get("astar")], 8.05, 5.65),
         Workload::mix("MP5", &[get("gemsFDTD")], 4.15, 2.6),
-        Workload::mix("MP6", &[get("cactusADM"), get("soplex"), get("gemsFDTD"), get("astar")], 5.09, 2.09),
+        Workload::mix(
+            "MP6",
+            &[
+                get("cactusADM"),
+                get("soplex"),
+                get("gemsFDTD"),
+                get("astar"),
+            ],
+            5.09,
+            2.09,
+        ),
     ];
     // Table IV: MP6 shows 3.4 % consumed-before-check.
     for p in &mut out[5].per_core {
@@ -240,7 +478,11 @@ mod tests {
 
     #[test]
     fn every_profile_validates() {
-        for p in spec_apps().iter().chain(parsec_apps().iter()).chain([stream_app()].iter()) {
+        for p in spec_apps()
+            .iter()
+            .chain(parsec_apps().iter())
+            .chain([stream_app()].iter())
+        {
             p.validate();
         }
     }

@@ -57,7 +57,10 @@ impl CoreStream {
         profile.validate();
         Self {
             profile: *profile,
-            rng: Xoshiro256::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(core_index as u64)),
+            rng: Xoshiro256::new(
+                seed.wrapping_mul(0x9e37_79b9)
+                    .wrapping_add(core_index as u64),
+            ),
             cursor: 0,
             last_start: 0,
             last_count: 1,
@@ -99,7 +102,11 @@ impl CoreStream {
         }
         let per_kilo = self.profile.rpki + self.profile.wpki;
         let base_gap = (1000.0 / per_kilo).max(1.0);
-        let mean_gap = if self.hot { (base_gap / 4.0).max(1.0) } else { base_gap * 4.0 };
+        let mean_gap = if self.hot {
+            (base_gap / 4.0).max(1.0)
+        } else {
+            base_gap * 4.0
+        };
         let p = 1.0 / mean_gap;
         let gap = self.rng.geometric(p, (mean_gap * 50.0) as u64).max(1);
 
@@ -110,7 +117,10 @@ impl CoreStream {
             StreamOp::Read(addr)
         } else {
             self.writes_emitted += 1;
-            StreamOp::Write { addr, dirty: self.next_dirty_mask() }
+            StreamOp::Write {
+                addr,
+                dirty: self.next_dirty_mask(),
+            }
         };
         self.pending_mem = Some(op);
         StreamOp::Compute(gap)
@@ -232,7 +242,10 @@ mod tests {
             }
         }
         let one_word = hist[1] as f64 / writes as f64;
-        assert!((one_word - 0.40).abs() < 0.02, "1-word fraction = {one_word}");
+        assert!(
+            (one_word - 0.40).abs() < 0.02,
+            "1-word fraction = {one_word}"
+        );
         let silent = hist[0] as f64 / writes as f64;
         assert!((silent - 0.05).abs() < 0.01, "silent fraction = {silent}");
     }
@@ -273,7 +286,10 @@ mod tests {
                 offsets.push(dirty.first().unwrap());
             }
         }
-        assert!(offsets.windows(2).all(|w| w[0] == w[1]), "all starts identical");
+        assert!(
+            offsets.windows(2).all(|w| w[0] == w[1]),
+            "all starts identical"
+        );
     }
 
     #[test]

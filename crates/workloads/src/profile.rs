@@ -75,8 +75,16 @@ impl AppProfile {
     /// Panics if rates are negative, probabilities out of range, or the
     /// histogram sums to zero.
     pub fn validate(&self) {
-        assert!(self.rpki >= 0.0 && self.wpki >= 0.0, "{}: negative rate", self.name);
-        assert!(self.rpki + self.wpki > 0.0, "{}: no memory traffic", self.name);
+        assert!(
+            self.rpki >= 0.0 && self.wpki >= 0.0,
+            "{}: negative rate",
+            self.name
+        );
+        assert!(
+            self.rpki + self.wpki > 0.0,
+            "{}: no memory traffic",
+            self.name
+        );
         assert!(
             (0.0..=1.0).contains(&self.row_locality)
                 && (0.0..=1.0).contains(&self.offset_corr)
@@ -84,8 +92,16 @@ impl AppProfile {
             "{}: probability out of range",
             self.name
         );
-        assert!(self.dirty_hist.iter().sum::<f64>() > 0.0, "{}: empty histogram", self.name);
-        assert!(self.footprint_lines > 8, "{}: degenerate footprint", self.name);
+        assert!(
+            self.dirty_hist.iter().sum::<f64>() > 0.0,
+            "{}: empty histogram",
+            self.name
+        );
+        assert!(
+            self.footprint_lines > 8,
+            "{}: degenerate footprint",
+            self.name
+        );
     }
 }
 

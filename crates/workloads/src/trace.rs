@@ -31,7 +31,11 @@ pub struct ParseTraceError {
 
 impl core::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -45,7 +49,9 @@ impl Trace {
 
     /// Records `n` ops from a generator.
     pub fn record(gen: &mut CoreStream, n: usize) -> Self {
-        Self { ops: (0..n).map(|_| gen.next_op()).collect() }
+        Self {
+            ops: (0..n).map(|_| gen.next_op()).collect(),
+        }
     }
 
     /// Appends one op.
@@ -75,7 +81,10 @@ impl Trace {
 
     /// Total memory operations (reads + writes) in the trace.
     pub fn mem_ops(&self) -> usize {
-        self.ops.iter().filter(|o| !matches!(o, StreamOp::Compute(_))).count()
+        self.ops
+            .iter()
+            .filter(|o| !matches!(o, StreamOp::Compute(_)))
+            .count()
     }
 
     /// Serializes to the versioned text format.
@@ -107,7 +116,12 @@ impl Trace {
         let mut lines = text.lines().enumerate();
         match lines.next() {
             Some((_, h)) if h.trim() == "pcmap-trace v1" => {}
-            _ => return Err(ParseTraceError { line: 1, reason: "missing or unknown header" }),
+            _ => {
+                return Err(ParseTraceError {
+                    line: 1,
+                    reason: "missing or unknown header",
+                })
+            }
         }
         let mut ops = Vec::new();
         for (idx, line) in lines {
@@ -117,7 +131,10 @@ impl Trace {
             }
             let mut parts = line.split_whitespace();
             let tag = parts.next().unwrap_or("");
-            let err = |reason| ParseTraceError { line: idx + 1, reason };
+            let err = |reason| ParseTraceError {
+                line: idx + 1,
+                reason,
+            };
             match tag {
                 "C" => {
                     let n = parts
@@ -160,7 +177,9 @@ fn parse_hex(v: &str) -> Option<u64> {
 
 impl FromIterator<StreamOp> for Trace {
     fn from_iter<I: IntoIterator<Item = StreamOp>>(iter: I) -> Self {
-        Self { ops: iter.into_iter().collect() }
+        Self {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 

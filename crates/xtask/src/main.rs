@@ -1,0 +1,72 @@
+//! Repository automation ("cargo xtask" pattern — no extra tooling, just a
+//! workspace binary that shells out to cargo).
+//!
+//! ```text
+//! cargo xtask ci       # fmt --check, clippy -D warnings, test
+//! cargo xtask fmt      # rustfmt the whole tree
+//! cargo xtask lint     # clippy -D warnings only
+//! ```
+
+use std::env;
+use std::process::{Command, ExitCode};
+
+fn cargo() -> Command {
+    Command::new(env::var("CARGO").unwrap_or_else(|_| "cargo".to_owned()))
+}
+
+/// Runs one gate step, returning `Err(step name)` on failure.
+fn step(name: &str, args: &[&str]) -> Result<(), String> {
+    println!("xtask: cargo {}", args.join(" "));
+    let status = cargo()
+        .args(args)
+        .status()
+        .map_err(|e| format!("{name}: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(name.to_owned())
+    }
+}
+
+fn fmt_check() -> Result<(), String> {
+    step("fmt", &["fmt", "--all", "--check"])
+}
+
+fn lint() -> Result<(), String> {
+    step(
+        "clippy",
+        &[
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ],
+    )
+}
+
+fn test() -> Result<(), String> {
+    step("test", &["test", "--workspace", "-q"])
+}
+
+fn main() -> ExitCode {
+    let task = env::args().nth(1).unwrap_or_default();
+    let result = match task.as_str() {
+        "ci" => fmt_check().and_then(|()| lint()).and_then(|()| test()),
+        "fmt" => step("fmt", &["fmt", "--all"]),
+        "lint" => lint(),
+        "test" => test(),
+        _ => {
+            eprintln!("usage: cargo xtask <ci|fmt|lint|test>");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(failed) => {
+            eprintln!("xtask: {failed} failed");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -26,18 +26,19 @@ fn main() {
     let mut essential_hist = [0u64; 9];
     let mut writebacks = 0u64;
 
-    let mut apply = |rank: &mut PcmRank, traffic: Vec<MemAccess>, hist: &mut [u64; 9], wbs: &mut u64| {
-        for t in traffic {
-            if let MemAccess::WriteBack(ev) = t {
-                let loc = org.decode(ev.addr);
-                // The rank's differential write finds the *essential* words
-                // (some dirty-marked words may be silent stores).
-                let outcome = rank.write_words(loc.bank, loc.row, loc.col, ev.data, ev.dirty);
-                hist[outcome.essential.count()] += 1;
-                *wbs += 1;
+    let apply =
+        |rank: &mut PcmRank, traffic: Vec<MemAccess>, hist: &mut [u64; 9], wbs: &mut u64| {
+            for t in traffic {
+                if let MemAccess::WriteBack(ev) = t {
+                    let loc = org.decode(ev.addr);
+                    // The rank's differential write finds the *essential* words
+                    // (some dirty-marked words may be silent stores).
+                    let outcome = rank.write_words(loc.bank, loc.row, loc.col, ev.data, ev.dirty);
+                    hist[outcome.essential.count()] += 1;
+                    *wbs += 1;
+                }
             }
-        }
-    };
+        };
 
     for step in 0..200_000u64 {
         let obj = rng.next_below(objects);
@@ -80,7 +81,10 @@ fn main() {
     for (i, &n) in essential_hist.iter().enumerate() {
         let pct = n as f64 * 100.0 / total as f64;
         mean += i as f64 * n as f64 / total as f64;
-        println!("  {i} words: {pct:5.1}%  {}", "#".repeat((pct / 2.0) as usize));
+        println!(
+            "  {i} words: {pct:5.1}%  {}",
+            "#".repeat((pct / 2.0) as usize)
+        );
     }
     println!("\nmean essential words: {mean:.2} (paper reports ~2.4 across SPEC)");
     let [l1, l2, llc] = hierarchy.hit_miss();

@@ -27,8 +27,14 @@ fn profile(name: &'static str, dirty_hist: [f64; 9]) -> AppProfile {
 
 fn main() {
     // One-word write-backs vs full-line write-backs.
-    let sparse = profile("sparse-logger", [2.0, 80.0, 10.0, 4.0, 2.0, 1.0, 0.5, 0.3, 0.2]);
-    let bulk = profile("bulk-copier", [0.5, 1.0, 1.5, 2.0, 5.0, 10.0, 15.0, 25.0, 40.0]);
+    let sparse = profile(
+        "sparse-logger",
+        [2.0, 80.0, 10.0, 4.0, 2.0, 1.0, 0.5, 0.3, 0.2],
+    );
+    let bulk = profile(
+        "bulk-copier",
+        [0.5, 1.0, 1.5, 2.0, 5.0, 10.0, 15.0, 25.0, 40.0],
+    );
 
     for app in [sparse, bulk] {
         let workload = Workload {

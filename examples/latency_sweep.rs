@@ -10,12 +10,20 @@ use pcmap::workloads::catalog;
 
 fn main() {
     let workload = catalog::by_name("MP4").expect("catalog workload");
-    println!("write latency pinned at 120 ns; read latency scaled (workload: {})\n", workload.name);
-    println!("{:>10}  {:>12}  {:>12}  {:>10}", "w:r ratio", "baseline IPC", "PCMap IPC", "gain");
+    println!(
+        "write latency pinned at 120 ns; read latency scaled (workload: {})\n",
+        workload.name
+    );
+    println!(
+        "{:>10}  {:>12}  {:>12}  {:>10}",
+        "w:r ratio", "baseline IPC", "PCMap IPC", "gain"
+    );
     for ratio in [2u64, 4, 6, 8] {
         let timing = TimingParams::paper_default().with_write_to_read_ratio(ratio);
         let run = |kind: SystemKind| {
-            let cfg = SimConfig::paper_default(kind).with_requests(8_000).with_timing(timing);
+            let cfg = SimConfig::paper_default(kind)
+                .with_requests(8_000)
+                .with_timing(timing);
             System::new(cfg, workload.clone()).run().ipc()
         };
         let base = run(SystemKind::Baseline);

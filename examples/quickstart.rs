@@ -22,9 +22,18 @@ fn main() {
         let report = System::new(cfg, workload.clone()).run();
         println!("{}:", kind.label());
         println!("  IPC                  {:.3}", report.ipc());
-        println!("  effective read lat.  {:.1} mem cycles", report.mean_read_latency);
-        println!("  write throughput     {:.1} writes/kcycle", report.write_throughput);
-        println!("  IRLP during writes   {:.2} (max {:.2})", report.irlp_mean, report.irlp_max);
+        println!(
+            "  effective read lat.  {:.1} mem cycles",
+            report.mean_read_latency
+        );
+        println!(
+            "  write throughput     {:.1} writes/kcycle",
+            report.write_throughput
+        );
+        println!(
+            "  IRLP during writes   {:.2} (max {:.2})",
+            report.irlp_mean, report.irlp_max
+        );
         println!("  reads served by RoW  {}", report.reads_via_row);
         println!("  WoW consolidations   {}", report.wow_overlaps);
         println!();

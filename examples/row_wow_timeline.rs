@@ -5,8 +5,13 @@
 //! Run with: `cargo run --release --example row_wow_timeline`
 
 use pcmap::core::{PcmapController, SystemKind};
-use pcmap::ctrl::{BaselineController, Controller, MemRequest, ReqId, ReqKind};
-use pcmap::types::{CoreId, Cycle, MemOrg, PhysAddr, QueueParams, TimingParams};
+use pcmap::ctrl::{BaselineController, ChipTrace, Controller, MemRequest, ReqId, ReqKind};
+use pcmap::types::{BankId, CoreId, Cycle, MemOrg, PhysAddr, QueueParams, TimingParams};
+
+/// Renders the chip-timeline Gantt from a controller's event stream.
+fn gantt(ctrl: &dyn Controller, bank: BankId) -> String {
+    ChipTrace::from_events(ctrl.events()).render_gantt(bank, 4)
+}
 
 fn write_req(ctrl: &dyn Controller, id: u64, addr: u64, words: &[usize]) -> MemRequest {
     let org = MemOrg::tiny();
@@ -57,8 +62,10 @@ fn row_scenario(ctrl: &mut dyn Controller) {
     let w = write_req(ctrl, 1, 0, &[3]);
     ctrl.enqueue_write(w, Cycle(0)).expect("queue empty");
     ctrl.step(Cycle(0));
-    ctrl.enqueue_read(read_req(2, 64, Cycle(1)), Cycle(1)).expect("queue empty");
-    ctrl.enqueue_read(read_req(3, 128, Cycle(1)), Cycle(1)).expect("queue empty");
+    ctrl.enqueue_read(read_req(2, 64, Cycle(1)), Cycle(1))
+        .expect("queue empty");
+    ctrl.enqueue_read(read_req(3, 128, Cycle(1)), Cycle(1))
+        .expect("queue empty");
     drive(ctrl, Cycle(1));
 }
 
@@ -85,21 +92,21 @@ fn main() {
     println!("— Baseline: write A (word 3), then reads B, C serialize —");
     let mut base = BaselineController::new(org, t, q, 0);
     row_scenario(&mut base);
-    print!("{}", base.trace().render_gantt(bank, 4));
+    print!("{}", gantt(&base, bank));
 
     println!("\n— RoW: B and C reconstructed from PCC during A; verify (V) after —");
     let mut row = PcmapController::new(SystemKind::RowNr, org, t, q, 0);
     row.set_overlap_reads_in_normal(true);
     row_scenario(&mut row);
-    print!("{}", row.trace().render_gantt(bank, 4));
+    print!("{}", gantt(&row, bank));
 
     println!("\n— Baseline: writes A{{2,5}}, B{{3,6}}, C{{4}} serialize —");
     let mut base2 = BaselineController::new(org, t, q, 0);
     wow_scenario(&mut base2);
-    print!("{}", base2.trace().render_gantt(bank, 4));
+    print!("{}", gantt(&base2, bank));
 
     println!("\n— WoW (RWoW-RDE): disjoint writes consolidated; E/P = check updates —");
     let mut wow = PcmapController::new(SystemKind::RwowRde, org, t, q, 0);
     wow_scenario(&mut wow);
-    print!("{}", wow.trace().render_gantt(bank, 4));
+    print!("{}", gantt(&wow, bank));
 }

@@ -9,7 +9,9 @@
 
 use pcmap::core::{PcmapController, SystemKind};
 use pcmap::ctrl::{Controller, MemRequest, ReqId, ReqKind};
-use pcmap::types::{ChipId, CoreId, Cycle, MemOrg, PhysAddr, QueueParams, TimingParams, Xoshiro256};
+use pcmap::types::{
+    ChipId, CoreId, Cycle, MemOrg, PhysAddr, QueueParams, TimingParams, Xoshiro256,
+};
 
 fn hammer(kind: SystemKind) -> PcmapController {
     let org = MemOrg::tiny();

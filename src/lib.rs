@@ -14,6 +14,9 @@
 //! - [`cpu`] — simplified out-of-order cores and a write-back cache
 //!   hierarchy with per-word dirty masks.
 //! - [`workloads`] — calibrated SPEC/PARSEC/STREAM workload models.
+//! - [`obs`] — telemetry: metric registry and mergeable snapshots, the
+//!   request-lifecycle event log, latency percentiles, windowed series,
+//!   JSON/CSV export (DESIGN.md §8).
 //! - [`sim`] — the full-system simulator and the paper's experiment registry.
 //!
 //! ## Quickstart
@@ -38,6 +41,7 @@ pub use pcmap_cpu as cpu;
 pub use pcmap_ctrl as ctrl;
 pub use pcmap_device as device;
 pub use pcmap_ecc as ecc;
+pub use pcmap_obs as obs;
 pub use pcmap_sim as sim;
 pub use pcmap_types as types;
 pub use pcmap_workloads as workloads;

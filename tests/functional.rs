@@ -6,7 +6,6 @@ use pcmap::core::{PcmapController, SystemKind};
 use pcmap::cpu::{AccessKind, Hierarchy, HierarchyConfig, MemAccess};
 use pcmap::ctrl::{BaselineController, Controller, MemRequest, ReqId, ReqKind};
 use pcmap::device::PcmRank;
-use pcmap::ecc::line::LineCheck;
 use pcmap::sim::{SimConfig, System};
 use pcmap::types::{
     CacheLine, CoreId, Cycle, MemOrg, PhysAddr, QueueParams, TimingParams, Xoshiro256,
@@ -90,7 +89,9 @@ fn injected_fault_corrected_through_controller_read() {
     );
     let addr = PhysAddr::new(0);
     let loc = org.decode(addr);
-    ctrl.rank_mut().storage_mut().inject_bit_error(loc.bank, loc.row, loc.col, 2, 33);
+    ctrl.rank_mut()
+        .storage_mut()
+        .inject_bit_error(loc.bank, loc.row, loc.col, 2, 33);
 
     let req = MemRequest {
         id: ReqId(1),
@@ -103,7 +104,11 @@ fn injected_fault_corrected_through_controller_read() {
     ctrl.enqueue_read(req, Cycle(0)).expect("queue space");
     let out = drive(&mut ctrl, Cycle(0));
     assert_eq!(out.len(), 1);
-    assert_eq!(ctrl.stats().ecc_corrected, 1, "SECDED must flag the corrected read");
+    assert_eq!(
+        ctrl.stats().ecc_corrected,
+        1,
+        "SECDED must flag the corrected read"
+    );
     assert_eq!(ctrl.stats().ecc_uncorrectable, 0);
 }
 
@@ -131,7 +136,10 @@ fn fault_injection_visible_in_system_report() {
     }
     let report = sys.run();
     assert!(report.reads_completed > 0);
-    assert_eq!(report.ecc_uncorrectable, 0, "single-bit faults are correctable");
+    assert_eq!(
+        report.ecc_uncorrectable, 0,
+        "single-bit faults are correctable"
+    );
     // Some of the faulted lines are eventually read (or rewritten first —
     // either is fine, but the machinery must not crash or corrupt).
 }
@@ -216,8 +224,15 @@ fn forwarded_reads_complete_fast() {
         arrival: Cycle(0),
     };
     ctrl.enqueue_write(w, Cycle(0)).unwrap();
-    let r = MemRequest { id: ReqId(2), kind: ReqKind::Read, ..w };
-    let fwd = ctrl.enqueue_read(r, Cycle(0)).unwrap().expect("must forward");
+    let r = MemRequest {
+        id: ReqId(2),
+        kind: ReqKind::Read,
+        ..w
+    };
+    let fwd = ctrl
+        .enqueue_read(r, Cycle(0))
+        .unwrap()
+        .expect("must forward");
     assert!(fwd.forwarded);
     assert!(fwd.done.0 <= 4, "forwarding is near-instant");
     let _ = CacheLine::zeroed();

@@ -16,7 +16,12 @@ fn pcmap_beats_baseline_on_every_headline_metric() {
     let base = run(SystemKind::Baseline, "canneal", 5_000);
     let rde = run(SystemKind::RwowRde, "canneal", 5_000);
 
-    assert!(rde.ipc() > base.ipc(), "IPC {} vs {}", rde.ipc(), base.ipc());
+    assert!(
+        rde.ipc() > base.ipc(),
+        "IPC {} vs {}",
+        rde.ipc(),
+        base.ipc()
+    );
     assert!(
         rde.mean_read_latency < base.mean_read_latency,
         "read latency {} vs {}",
@@ -29,7 +34,12 @@ fn pcmap_beats_baseline_on_every_headline_metric() {
         rde.write_throughput,
         base.write_throughput
     );
-    assert!(rde.irlp_mean > base.irlp_mean, "IRLP {} vs {}", rde.irlp_mean, base.irlp_mean);
+    assert!(
+        rde.irlp_mean > base.irlp_mean,
+        "IRLP {} vs {}",
+        rde.irlp_mean,
+        base.irlp_mean
+    );
 }
 
 #[test]
@@ -43,7 +53,11 @@ fn baseline_irlp_anchors_to_mean_essential_words() {
         base.irlp_mean,
         base.mean_essential_words
     );
-    assert!((1.8..=3.5).contains(&base.irlp_mean), "IRLP = {}", base.irlp_mean);
+    assert!(
+        (1.8..=3.5).contains(&base.irlp_mean),
+        "IRLP = {}",
+        base.irlp_mean
+    );
 }
 
 #[test]
@@ -61,7 +75,10 @@ fn mechanisms_actually_engage() {
     assert!(rde.reads_via_row > 0, "RoW must serve reads");
     assert!(rde.wow_overlaps > 0, "WoW must consolidate writes");
     let row_only = run(SystemKind::RowNr, "canneal", 5_000);
-    assert_eq!(row_only.wow_overlaps, 0, "RoW-NR must never consolidate writes");
+    assert_eq!(
+        row_only.wow_overlaps, 0,
+        "RoW-NR must never consolidate writes"
+    );
     let wow_only = run(SystemKind::WowNr, "canneal", 5_000);
     assert_eq!(wow_only.reads_via_row, 0, "WoW-NR must never overlap reads");
     let base = run(SystemKind::Baseline, "canneal", 5_000);
@@ -87,7 +104,9 @@ fn ratio_sensitivity_holds_up_like_table3() {
     let gain_at = |ratio: u64| {
         let timing = TimingParams::paper_default().with_write_to_read_ratio(ratio);
         let go = |kind: SystemKind| {
-            let cfg = SimConfig::paper_default(kind).with_requests(4_000).with_timing(timing);
+            let cfg = SimConfig::paper_default(kind)
+                .with_requests(4_000)
+                .with_timing(timing);
             System::new(cfg, catalog::by_name(wl).unwrap()).run().ipc()
         };
         go(SystemKind::RwowRde) / go(SystemKind::Baseline)
@@ -151,7 +170,10 @@ fn read_latency_distribution_is_sane_and_typical_case_improves() {
         assert!(r.p95_read_latency <= r.p99_read_latency);
         assert!(r.p99_read_latency as f64 >= r.mean_read_latency / 4.0);
     }
-    assert!(base.p99_read_latency > base.p50_read_latency, "baseline has a tail");
+    assert!(
+        base.p99_read_latency > base.p50_read_latency,
+        "baseline has a tail"
+    );
     assert!(
         rde.p50_read_latency <= base.p50_read_latency,
         "p50 {} vs baseline {}",
