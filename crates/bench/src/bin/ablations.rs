@@ -2,8 +2,9 @@
 //! status-poll cost, drain watermarks, queue depths, and rotation under
 //! correlated vs uncorrelated write offsets.
 
+use pcmap_bench::jobs_from_args;
 use pcmap_core::{RollbackMode, SystemKind};
-use pcmap_sim::{SimConfig, System, TableBuilder};
+use pcmap_sim::{SimConfig, SweepRunner, System, TableBuilder};
 use pcmap_workloads::catalog;
 
 fn run(cfg: SimConfig, wl: &catalog::Workload) -> f64 {
@@ -11,59 +12,70 @@ fn run(cfg: SimConfig, wl: &catalog::Workload) -> f64 {
 }
 
 fn main() {
-    let requests: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12_000);
+    // First positional integer is the request budget; `--jobs N` (and its
+    // value) is handled by `jobs_from_args`.
+    let mut requests: u64 = 12_000;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" || arg == "-j" {
+            let _ = it.next();
+        } else if let Ok(n) = arg.parse() {
+            requests = n;
+        }
+    }
+    let mut runner = SweepRunner::new(jobs_from_args());
     let wl = catalog::by_name("canneal").expect("catalog workload");
 
     println!("Ablations (canneal, {requests} requests, RWoW-RDE unless noted)\n");
 
     // Drain watermark sweep.
-    let mut t = TableBuilder::new(&["drain high [%]", "IPC"]);
-    for high in [0.5, 0.65, 0.8, 0.95] {
+    let highs = vec![0.5, 0.65, 0.8, 0.95];
+    let ipcs = runner.map(highs.clone(), |high| {
         let mut cfg = SimConfig::paper_default(SystemKind::RwowRde).with_requests(requests);
         cfg.queues.drain_high = high;
         cfg.queues.drain_low = 0.2;
-        t.row(&[
-            format!("{:.0}", high * 100.0),
-            format!("{:.3}", run(cfg, &wl)),
-        ]);
+        run(cfg, &wl)
+    });
+    let mut t = TableBuilder::new(&["drain high [%]", "IPC"]);
+    for (high, ipc) in highs.iter().zip(&ipcs) {
+        t.row(&[format!("{:.0}", high * 100.0), format!("{ipc:.3}")]);
     }
     println!("ablation_drain — write-drain high watermark:");
     println!("{}", t.render());
 
     // Read queue depth / MLP window.
-    let mut t = TableBuilder::new(&["read queue", "MLP", "IPC"]);
-    for (rq, mlp) in [(4usize, 2usize), (8, 4), (16, 8)] {
+    let sizes = vec![(4usize, 2usize), (8, 4), (16, 8)];
+    let ipcs = runner.map(sizes.clone(), |(rq, mlp)| {
         let mut cfg = SimConfig::paper_default(SystemKind::RwowRde).with_requests(requests);
         cfg.queues.read_q = rq;
         cfg.cpu.mlp = mlp;
-        t.row(&[
-            rq.to_string(),
-            mlp.to_string(),
-            format!("{:.3}", run(cfg, &wl)),
-        ]);
+        run(cfg, &wl)
+    });
+    let mut t = TableBuilder::new(&["read queue", "MLP", "IPC"]);
+    for ((rq, mlp), ipc) in sizes.iter().zip(&ipcs) {
+        t.row(&[rq.to_string(), mlp.to_string(), format!("{ipc:.3}")]);
     }
     println!("ablation_queues — read queue depth and MLP window:");
     println!("{}", t.render());
 
     // Offset correlation x rotation: rotation should matter most when
-    // successive write-backs cluster on the same offsets.
-    let mut t = TableBuilder::new(&["offset corr", "RWoW-NR IPC", "RWoW-RDE IPC", "RDE gain [%]"]);
-    for corr in [0.0, 0.32, 0.8] {
+    // successive write-backs cluster on the same offsets. Each (corr,
+    // kind) cell is one independent run.
+    let corrs = [0.0, 0.32, 0.8];
+    let cells: Vec<(f64, SystemKind)> = corrs
+        .iter()
+        .flat_map(|&c| [(c, SystemKind::RwowNr), (c, SystemKind::RwowRde)])
+        .collect();
+    let ipcs = runner.map(cells, |(corr, kind)| {
         let mut wl2 = wl.clone();
         for p in &mut wl2.per_core {
             p.offset_corr = corr;
         }
-        let nr = run(
-            SimConfig::paper_default(SystemKind::RwowNr).with_requests(requests),
-            &wl2,
-        );
-        let rde = run(
-            SimConfig::paper_default(SystemKind::RwowRde).with_requests(requests),
-            &wl2,
-        );
+        run(SimConfig::paper_default(kind).with_requests(requests), &wl2)
+    });
+    let mut t = TableBuilder::new(&["offset corr", "RWoW-NR IPC", "RWoW-RDE IPC", "RDE gain [%]"]);
+    for (i, corr) in corrs.iter().enumerate() {
+        let (nr, rde) = (ipcs[2 * i], ipcs[2 * i + 1]);
         t.row(&[
             format!("{corr:.2}"),
             format!("{nr:.3}"),

@@ -3,7 +3,7 @@
 //! ```text
 //! pcmap_run [--workload NAME] [--system KIND] [--requests N]
 //!           [--ratio R] [--seed S] [--rollback faulty|clean] [--all]
-//!           [--json PATH] [--csv PATH]
+//!           [--jobs N] [--json PATH] [--csv PATH]
 //! ```
 //!
 //! `KIND` is one of `baseline`, `row-nr`, `wow-nr`, `rwow-nr`, `rwow-rd`,
@@ -12,10 +12,16 @@
 //! (per-channel counters, latency percentiles, IRLP, stall breakdown,
 //! windowed series) as a JSON array; `--csv PATH` writes the comparison
 //! table as CSV.
+//!
+//! `--jobs N` (default 1, or `PCMAP_JOBS`) enables the deterministic
+//! parallel engine: with `--all` the six independent system runs are
+//! farmed to N pool workers; a single run instead advances its four
+//! channel controllers concurrently (epoch lockstep, DESIGN.md §9).
+//! Every table, JSON, and CSV byte is identical at any `N`.
 
 use pcmap_core::{RollbackMode, SystemKind};
 use pcmap_obs::Value;
-use pcmap_sim::{RunReport, SimConfig, System, TableBuilder};
+use pcmap_sim::{RunReport, SimConfig, SweepRunner, System, TableBuilder};
 use pcmap_types::TimingParams;
 use pcmap_workloads::catalog;
 
@@ -27,6 +33,7 @@ struct Args {
     seed: u64,
     rollback: RollbackMode,
     all: bool,
+    jobs: usize,
     json: Option<String>,
     csv: Option<String>,
 }
@@ -58,6 +65,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 0xC0FFEE,
         rollback: RollbackMode::NeverFaulty,
         all: false,
+        jobs: pcmap_bench::jobs_from_args(),
         json: None,
         csv: None,
     };
@@ -95,13 +103,19 @@ fn parse_args() -> Result<Args, String> {
                 };
             }
             "--all" | "-a" => args.all = true,
+            "--jobs" | "-j" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad job count: {e}"))?;
+                args.jobs = args.jobs.max(1);
+            }
             "--json" => args.json = Some(value("--json")?),
             "--csv" => args.csv = Some(value("--csv")?),
             "--help" | "-h" => {
                 println!(
                     "usage: pcmap_run [--workload NAME] [--system KIND] [--requests N] \
                      [--ratio R] [--seed S] [--rollback faulty|clean] [--all] \
-                     [--json PATH] [--csv PATH]"
+                     [--jobs N] [--json PATH] [--csv PATH]"
                 );
                 std::process::exit(0);
             }
@@ -111,14 +125,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run(args: &Args, kind: SystemKind) -> RunReport {
-    let wl = catalog::by_name(&args.workload).unwrap_or_else(|| {
-        eprintln!(
-            "unknown workload '{}'; known: canneal, dedup, ..., MP1-MP6, SPEC names, stream",
-            args.workload
-        );
-        std::process::exit(2);
-    });
+fn build(args: &Args, kind: SystemKind, wl: &catalog::Workload) -> System {
     let mut cfg = SimConfig::paper_default(kind)
         .with_requests(args.requests)
         .with_seed(args.seed)
@@ -126,7 +133,7 @@ fn run(args: &Args, kind: SystemKind) -> RunReport {
     if let Some(r) = args.ratio {
         cfg = cfg.with_timing(TimingParams::paper_default().with_write_to_read_ratio(r));
     }
-    System::new(cfg, wl).run()
+    System::new(cfg, wl.clone())
 }
 
 fn main() {
@@ -138,10 +145,27 @@ fn main() {
         }
     };
 
+    let wl = catalog::by_name(&args.workload).unwrap_or_else(|| {
+        eprintln!(
+            "unknown workload '{}'; known: canneal, dedup, ..., MP1-MP6, SPEC names, stream",
+            args.workload
+        );
+        std::process::exit(2);
+    });
     let kinds: Vec<SystemKind> = if args.all {
         SystemKind::all().to_vec()
     } else {
         vec![args.system]
+    };
+
+    // Deterministic parallelism (--jobs N): a multi-system sweep farms
+    // whole runs to the pool; a single run parallelizes across its four
+    // channels instead. Both emit byte-identical reports at any N.
+    let mut runner = SweepRunner::new(args.jobs);
+    let reports: Vec<RunReport> = if kinds.len() > 1 {
+        runner.map(kinds.clone(), |kind| build(&args, kind, &wl).run())
+    } else {
+        vec![build(&args, kinds[0], &wl).run_parallel(runner.pool())]
     };
 
     let mut t = TableBuilder::new(&[
@@ -154,11 +178,9 @@ fn main() {
         "WoW overlaps",
         "rollbacks",
     ]);
-    let mut reports = Vec::new();
-    for kind in kinds {
-        let r = run(&args, kind);
+    for r in &reports {
         t.row(&[
-            kind.label().to_string(),
+            r.kind.label().to_string(),
             format!("{:.3}", r.ipc()),
             format!("{:.1}/{}", r.mean_read_latency, r.p95_read_latency),
             format!("{:.1}", r.write_throughput),
@@ -167,7 +189,6 @@ fn main() {
             r.wow_overlaps.to_string(),
             r.rollbacks.to_string(),
         ]);
-        reports.push(r);
     }
     println!(
         "workload {} · {} requests · seed {:#x}{}",

@@ -1,29 +1,55 @@
 //! Shared plumbing for the experiment binaries that regenerate every table
 //! and figure of the paper (see DESIGN.md §3 for the index).
 //!
-//! Each binary accepts an optional scale argument: `quick`, `default`
-//! (the default) or `full`.
+//! Each binary accepts an optional scale argument — `quick`, `default`
+//! (the default) or `full` — and a `--jobs N` flag (or the `PCMAP_JOBS`
+//! environment variable) that farms the sweep's independent runs to N
+//! workers. Results are emitted in input order, so every table and JSON
+//! artifact is byte-identical across job counts.
 
 #![warn(missing_docs)]
 
 use pcmap_core::SystemKind;
 use pcmap_obs::Value;
-use pcmap_sim::experiments::{evaluate_matrix, EvalScale, WorkloadEval};
-use pcmap_sim::{RunReport, TableBuilder};
+use pcmap_sim::experiments::{evaluate_matrix_with, EvalScale, WorkloadEval};
+use pcmap_sim::{RunReport, SweepRunner, TableBuilder};
 
-/// Parses the common `quick|default|full` CLI argument.
+/// Parses the common `quick|default|full` CLI argument (any position;
+/// other flags are ignored).
 pub fn scale_from_args() -> EvalScale {
-    match std::env::args().nth(1).as_deref() {
-        Some("quick") => EvalScale::quick(),
-        Some("full") => EvalScale::full(),
-        _ => EvalScale::default_scale(),
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "quick" => return EvalScale::quick(),
+            "full" => return EvalScale::full(),
+            "default" => return EvalScale::default_scale(),
+            _ => {}
+        }
     }
+    EvalScale::default_scale()
 }
 
-/// Runs the Figures 8–11 evaluation matrix and appends the two average
-/// rows the paper reports (`Average(MT)`, `Average(MP)`).
-pub fn matrix_with_averages(scale: EvalScale) -> Vec<WorkloadEval> {
-    let mut rows = evaluate_matrix(scale);
+/// Parses the common `--jobs N` (or `-j N`) flag, falling back to the
+/// `PCMAP_JOBS` environment variable, then to 1 (serial).
+pub fn jobs_from_args() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--jobs" || a == "-j")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .or_else(pcmap_par::env_jobs)
+        .unwrap_or(1)
+}
+
+/// A sweep runner sized by [`jobs_from_args`].
+pub fn runner_from_args() -> SweepRunner {
+    SweepRunner::new(jobs_from_args())
+}
+
+/// Runs the Figures 8–11 evaluation matrix on `runner` and appends the
+/// two average rows the paper reports (`Average(MT)`, `Average(MP)`).
+pub fn matrix_with_averages(scale: EvalScale, runner: &mut SweepRunner) -> Vec<WorkloadEval> {
+    let mut rows = evaluate_matrix_with(scale, runner);
     let avg = |rows: &[WorkloadEval], mt: bool, name: &str| -> WorkloadEval {
         let group: Vec<&WorkloadEval> = rows.iter().filter(|r| r.multi_threaded == mt).collect();
         let kinds = SystemKind::all();

@@ -30,8 +30,13 @@ const FORWARD_LATENCY: Duration = Duration(2);
 /// Enqueue methods hand the request back in the `Err` variant when the
 /// queue is full so the caller can retry without cloning — the 136-byte
 /// payload is intentional (`clippy::result_large_err` is waived).
+///
+/// `Send` is a supertrait: a channel's whole state (queues, bus, rank,
+/// wear, RNG stream, event log) is channel-private, which is what lets
+/// the parallel engine advance each controller on its own worker thread
+/// between CPU↔memory barriers.
 #[allow(clippy::result_large_err)]
-pub trait Controller {
+pub trait Controller: Send {
     /// Offers a read request at time `now`.
     ///
     /// Returns `Ok(Some(completion))` if the read was forwarded from the

@@ -64,6 +64,71 @@ proptest! {
         prop_assert_eq!(&backward, &whole);
     }
 
+    /// Commutativity: merging per-channel shards in *any* order — not just
+    /// forward/backward, but an arbitrary permutation — yields the same
+    /// snapshot. The parallel sweep pool relies on this: workers complete
+    /// in nondeterministic order, yet the merged totals must not move.
+    #[test]
+    fn prop_merge_is_commutative_over_shuffled_shards(
+        vs in proptest::collection::vec(1u64..1_000_000, 1..160),
+        keys in proptest::collection::vec(0u64..u64::MAX, 8..9),
+        shards in 2usize..8,
+    ) {
+        let chunk = vs.len().div_ceil(shards).max(1);
+        let snaps: Vec<MetricsSnapshot> = vs.chunks(chunk).map(accumulate).collect();
+
+        // The shim has no shuffle strategy; derive a permutation by
+        // sorting shard indices under generated sort keys.
+        let mut order: Vec<usize> = (0..snaps.len()).collect();
+        order.sort_by_key(|&i| (keys[i % keys.len()], i));
+
+        let mut in_order = MetricsSnapshot::new();
+        for s in &snaps {
+            in_order.merge(s);
+        }
+        let mut shuffled = MetricsSnapshot::new();
+        for &i in &order {
+            shuffled.merge(&snaps[i]);
+        }
+        prop_assert_eq!(&shuffled, &in_order);
+        prop_assert_eq!(&in_order, &accumulate(&vs));
+    }
+
+    /// Associativity: the stream re-chunked at any granularity — and the
+    /// chunk snapshots merged in any tree shape — equals the single-stream
+    /// snapshot. This is what makes an epoch-merged parallel run agree
+    /// with a serial one regardless of how work was partitioned.
+    #[test]
+    fn prop_merge_is_associative_under_rechunking(
+        vs in proptest::collection::vec(1u64..1_000_000, 3..160),
+        a in 1usize..10,
+        b in 1usize..10,
+    ) {
+        let whole = accumulate(&vs);
+        let fold_chunks = |size: usize| {
+            let mut acc = MetricsSnapshot::new();
+            for c in vs.chunks(size) {
+                acc.merge(&accumulate(c));
+            }
+            acc
+        };
+        prop_assert_eq!(&fold_chunks(a), &whole);
+        prop_assert_eq!(&fold_chunks(b), &whole);
+
+        // Tree shapes: ((s0 ⊔ s1) ⊔ s2) == (s0 ⊔ (s1 ⊔ s2)).
+        let snaps: Vec<MetricsSnapshot> = vs.chunks(a).map(accumulate).collect();
+        if snaps.len() >= 3 {
+            let mut left = snaps[0].clone();
+            left.merge(&snaps[1]);
+            left.merge(&snaps[2]);
+            let mut tail = snaps[1].clone();
+            tail.merge(&snaps[2]);
+            let mut right = snaps[0].clone();
+            right.merge(&tail);
+            prop_assert_eq!(&left, &right);
+        }
+    }
+
     #[test]
     fn prop_snapshot_json_round_trips(vs in proptest::collection::vec(1u64..1_000_000, 1..100)) {
         let snap = accumulate(&vs);

@@ -5,6 +5,7 @@
 //! rows; the `pcmap-bench` binaries render them as the same rows/series
 //! the paper reports.
 
+use crate::sweep::{SweepPoint, SweepRunner};
 use crate::system::{RunReport, SimConfig, System};
 use pcmap_core::{RollbackMode, SystemKind};
 use pcmap_types::TimingParams;
@@ -89,19 +90,26 @@ impl WorkloadEval {
 
 /// Runs the full evaluation matrix behind Figures 8, 9, 10 and 11.
 pub fn evaluate_matrix(scale: EvalScale) -> Vec<WorkloadEval> {
-    figure_workloads(scale)
+    evaluate_matrix_with(scale, &mut SweepRunner::new(1))
+}
+
+/// [`evaluate_matrix`], with the independent (workload × kind) runs farmed
+/// to `runner`'s pool. Results come back in input order, so the rows are
+/// identical at every job count.
+pub fn evaluate_matrix_with(scale: EvalScale, runner: &mut SweepRunner) -> Vec<WorkloadEval> {
+    let workloads = figure_workloads(scale);
+    let kinds = SystemKind::all();
+    let points: Vec<SweepPoint> = workloads
+        .iter()
+        .flat_map(|w| kinds.iter().map(|&k| SweepPoint::standard(w, k, scale)))
+        .collect();
+    let mut reports = runner.run_points(points).into_iter();
+    workloads
         .into_iter()
-        .map(|w| {
-            let multi_threaded = !w.name.starts_with("MP");
-            let reports = SystemKind::all()
-                .iter()
-                .map(|&k| run_one(&w, k, scale))
-                .collect();
-            WorkloadEval {
-                name: w.name.clone(),
-                multi_threaded,
-                reports,
-            }
+        .map(|w| WorkloadEval {
+            multi_threaded: !w.name.starts_with("MP"),
+            name: w.name,
+            reports: reports.by_ref().take(kinds.len()).collect(),
         })
         .collect()
 }
@@ -193,22 +201,45 @@ pub struct Tab3Row {
 /// Runs Table III: sweep the write:read latency ratio with write latency
 /// pinned at 120 ns. Improvements are averaged over `workloads`.
 pub fn tab3(scale: EvalScale, workloads: &[Workload]) -> Vec<Tab3Row> {
-    [2u64, 4, 6, 8]
+    tab3_with(scale, workloads, &mut SweepRunner::new(1))
+}
+
+/// [`tab3`], with the (ratio × workload × kind) runs farmed to `runner`.
+pub fn tab3_with(
+    scale: EvalScale,
+    workloads: &[Workload],
+    runner: &mut SweepRunner,
+) -> Vec<Tab3Row> {
+    const RATIOS: [u64; 4] = [2, 4, 6, 8];
+    const KINDS: [SystemKind; 3] = [
+        SystemKind::Baseline,
+        SystemKind::RwowRde,
+        SystemKind::RwowNr,
+    ];
+    let points: Vec<SweepPoint> = RATIOS
+        .iter()
+        .flat_map(|&ratio| {
+            let timing = TimingParams::paper_default().with_write_to_read_ratio(ratio);
+            workloads.iter().flat_map(move |w| {
+                KINDS.iter().map(move |&kind| SweepPoint {
+                    cfg: SimConfig::paper_default(kind)
+                        .with_requests(scale.requests)
+                        .with_timing(timing),
+                    workload: w.clone(),
+                })
+            })
+        })
+        .collect();
+    let mut ipcs = runner.run_points(points).into_iter().map(|r| r.ipc());
+    RATIOS
         .iter()
         .map(|&ratio| {
-            let timing = TimingParams::paper_default().with_write_to_read_ratio(ratio);
             let mut imp_rde = 0.0;
             let mut imp_nr = 0.0;
-            for w in workloads {
-                let run = |kind: SystemKind| {
-                    let cfg = SimConfig::paper_default(kind)
-                        .with_requests(scale.requests)
-                        .with_timing(timing);
-                    System::new(cfg, w.clone()).run()
-                };
-                let base = run(SystemKind::Baseline).ipc();
-                imp_rde += (run(SystemKind::RwowRde).ipc() / base - 1.0) * 100.0;
-                imp_nr += (run(SystemKind::RwowNr).ipc() / base - 1.0) * 100.0;
+            for _ in workloads {
+                let base = ipcs.next().expect("baseline run");
+                imp_rde += (ipcs.next().expect("rde run") / base - 1.0) * 100.0;
+                imp_nr += (ipcs.next().expect("nr run") / base - 1.0) * 100.0;
             }
             let n = workloads.len() as f64;
             Tab3Row {
@@ -244,22 +275,42 @@ pub struct Tab4Row {
 /// validate immediately from their check byte and carry no rollback risk
 /// at all; see DESIGN.md §4b.)
 pub fn tab4(scale: EvalScale) -> Vec<Tab4Row> {
-    ["canneal", "facesim", "MP6", "ferret"]
+    tab4_with(scale, &mut SweepRunner::new(1))
+}
+
+/// [`tab4`], with each workload's three independent runs (baseline,
+/// always-faulty, none-faulty) farmed to `runner`.
+pub fn tab4_with(scale: EvalScale, runner: &mut SweepRunner) -> Vec<Tab4Row> {
+    let workloads: Vec<Workload> = ["canneal", "facesim", "MP6", "ferret"]
         .iter()
-        .map(|name| {
-            let w = catalog::by_name(name).expect("catalog workload");
-            let base = run_one(&w, SystemKind::Baseline, scale).ipc();
-            let run_mode = |mode: RollbackMode| {
-                let cfg = SimConfig::paper_default(SystemKind::RwowNr)
+        .map(|name| catalog::by_name(name).expect("catalog workload"))
+        .collect();
+    let points: Vec<SweepPoint> = workloads
+        .iter()
+        .flat_map(|w| {
+            let mode_point = |mode: RollbackMode| SweepPoint {
+                cfg: SimConfig::paper_default(SystemKind::RwowNr)
                     .with_requests(scale.requests)
-                    .with_rollback(mode);
-                System::new(cfg, w.clone()).run()
+                    .with_rollback(mode),
+                workload: w.clone(),
             };
-            let faulty = run_mode(RollbackMode::AlwaysFaulty);
-            let clean = run_mode(RollbackMode::NeverFaulty);
+            [
+                SweepPoint::standard(w, SystemKind::Baseline, scale),
+                mode_point(RollbackMode::AlwaysFaulty),
+                mode_point(RollbackMode::NeverFaulty),
+            ]
+        })
+        .collect();
+    let mut reports = runner.run_points(points).into_iter();
+    workloads
+        .into_iter()
+        .map(|w| {
+            let base = reports.next().expect("baseline run").ipc();
+            let faulty = reports.next().expect("faulty run");
+            let clean = reports.next().expect("clean run");
             let row_reads = faulty.reads_via_row.max(1);
             Tab4Row {
-                workload: w.name.clone(),
+                workload: w.name,
                 max_rollback_pct: faulty.consumed_before_check as f64 * 100.0 / row_reads as f64,
                 faulty_imp_pct: (faulty.ipc() / base - 1.0) * 100.0,
                 none_faulty_imp_pct: (clean.ipc() / base - 1.0) * 100.0,

@@ -23,7 +23,9 @@
 
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 pub mod system;
 
 pub use report::TableBuilder;
+pub use sweep::{SweepPoint, SweepRunner};
 pub use system::{RunReport, SimConfig, System};

@@ -9,6 +9,7 @@ use pcmap_obs::{
     CounterId, Event, EventKind, EventLog, EventSink, MetricRegistry, MetricsSnapshot,
     StallBreakdown, Value, WindowedSeries, NO_REQ,
 };
+use pcmap_par::Pool;
 use pcmap_types::{
     BankId, CoreId, CpuParams, Cycle, MemOrg, QueueParams, TimingParams, Xoshiro256,
 };
@@ -416,9 +417,35 @@ impl System {
         &mut self.ctrls
     }
 
-    /// Runs to completion and produces the report.
-    pub fn run(mut self) -> RunReport {
+    /// Runs to completion serially and produces the report.
+    pub fn run(self) -> RunReport {
+        self.run_engine(None)
+    }
+
+    /// Runs to completion with intra-run channel parallelism: each memory
+    /// channel (controller + DIMM/rank/wear state, all channel-private)
+    /// advances on its own pool worker between CPU↔memory barriers.
+    ///
+    /// The engine is epoch-based lockstep. One event-loop iteration is one
+    /// epoch: deliveries and core polling (the only cross-channel
+    /// interaction points) run on the driving thread and form the barrier;
+    /// the per-channel `step` calls inside the epoch are independent and
+    /// run concurrently. Completions are merged back in channel-index
+    /// order — the exact insertion sequence the serial engine produces —
+    /// so the resulting [`RunReport`] is byte-identical to [`System::run`]
+    /// (`crates/sim/tests/par_equiv.rs` proves this; DESIGN.md §9 states
+    /// the determinism contract).
+    ///
+    /// With a serial pool (`--jobs 1`) this takes exactly the serial path.
+    pub fn run_parallel(self, pool: &mut Pool) -> RunReport {
+        self.run_engine(Some(pool))
+    }
+
+    fn run_engine(mut self, mut pool: Option<&mut Pool>) -> RunReport {
         let mut now = Cycle(0);
+        // Scratch completion buffers, one per channel, reused each epoch.
+        let mut epoch_out: Vec<Vec<Completion>> = Vec::new();
+        epoch_out.resize_with(self.ctrls.len(), Vec::new);
         loop {
             // 1. Deliver due completions to cores.
             while let Some(Reverse(d)) = self.deliveries.peek().copied() {
@@ -432,10 +459,30 @@ impl System {
             // 2. Let cores act and enqueue requests.
             self.poll_cores(now);
 
-            // 3. Step controllers.
-            for ch in 0..self.ctrls.len() {
-                let comps = self.ctrls[ch].step(now);
-                for comp in comps {
+            // 3. Step controllers — the epoch body. Channels share no
+            // state with each other, only with the CPU side (steps 1-2
+            // above, the barrier), so they may advance concurrently; the
+            // completion merge below is in channel-index order either
+            // way, keeping the delivery heap's insertion sequence — and
+            // therefore everything downstream — identical to the serial
+            // engine's.
+            let par = match pool.as_deref_mut() {
+                Some(p) if !p.is_serial() && self.channels_due(now) >= 2 => Some(p),
+                _ => None,
+            };
+            if let Some(p) = par {
+                p.scoped(|scope| {
+                    for (ctrl, out) in self.ctrls.iter_mut().zip(epoch_out.iter_mut()) {
+                        scope.execute(move || *out = ctrl.step(now));
+                    }
+                });
+            } else {
+                for (ctrl, out) in self.ctrls.iter_mut().zip(epoch_out.iter_mut()) {
+                    *out = ctrl.step(now);
+                }
+            }
+            for out in &mut epoch_out {
+                for comp in std::mem::take(out) {
                     self.push_completion(comp);
                 }
             }
@@ -659,6 +706,16 @@ impl System {
                 false
             }
         }
+    }
+
+    /// Channels that can make progress at exactly `now` — the epoch only
+    /// pays pool-dispatch overhead when at least two have work (dispatch
+    /// choice never changes state: every channel is stepped either way).
+    fn channels_due(&self, now: Cycle) -> usize {
+        self.ctrls
+            .iter()
+            .filter(|c| c.next_wake(now).is_some_and(|w| w <= now))
+            .count()
     }
 
     fn finished(&self, now: Cycle) -> bool {

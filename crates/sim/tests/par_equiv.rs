@@ -1,0 +1,121 @@
+//! Equivalence harness for the parallel engines (DESIGN.md §9).
+//!
+//! The determinism contract: for every workload, system kind, scale, and
+//! rollback mode, the parallel channel engine ([`System::run_parallel`])
+//! and the sweep pool ([`SweepRunner`]) must produce `RunReport`s whose
+//! [`RunReport::to_json`](pcmap_sim::RunReport::to_json) rendering is
+//! **byte-identical** to the serial engine's — merged latency histograms,
+//! windowed IRLP/throughput series, per-channel snapshots and all. Any
+//! scheduling leak (heap insertion order, RNG stream sharing, snapshot
+//! merge order) shows up here as a first-byte diff.
+
+use pcmap_core::{RollbackMode, SystemKind};
+use pcmap_par::Pool;
+use pcmap_sim::{SimConfig, SweepPoint, SweepRunner, System};
+use pcmap_workloads::catalog;
+
+fn cfg(kind: SystemKind, requests: u64) -> SimConfig {
+    SimConfig::paper_default(kind).with_requests(requests)
+}
+
+fn serial_json(c: &SimConfig, workload: &str) -> String {
+    let wl = catalog::by_name(workload).expect("catalog workload");
+    System::new(c.clone(), wl).run().to_json().to_json_string()
+}
+
+fn parallel_json(c: &SimConfig, workload: &str, jobs: usize) -> String {
+    let wl = catalog::by_name(workload).expect("catalog workload");
+    let mut pool = Pool::new(jobs);
+    System::new(c.clone(), wl)
+        .run_parallel(&mut pool)
+        .to_json()
+        .to_json_string()
+}
+
+/// The headline matrix: {baseline, PCMap} × {2 workloads} × {2 scales},
+/// parallel channel engine at 4 workers vs the serial engine.
+#[test]
+fn channel_engine_json_is_byte_identical_to_serial() {
+    for kind in [SystemKind::Baseline, SystemKind::RwowRde] {
+        for workload in ["streamcluster", "canneal"] {
+            for requests in [400u64, 1500] {
+                let c = cfg(kind, requests);
+                let serial = serial_json(&c, workload);
+                let par = parallel_json(&c, workload, 4);
+                assert_eq!(
+                    serial, par,
+                    "parallel != serial for {kind:?}/{workload}/{requests}"
+                );
+            }
+        }
+    }
+}
+
+/// Rollback accounting runs its own per-core RNG streams; the always-
+/// faulty mode must stay on them regardless of which worker steps the
+/// channel.
+#[test]
+fn channel_engine_matches_serial_under_rollback_accounting() {
+    let c = cfg(SystemKind::RwowNr, 1200).with_rollback(RollbackMode::AlwaysFaulty);
+    assert_eq!(serial_json(&c, "canneal"), parallel_json(&c, "canneal", 4));
+}
+
+/// Worker count must not matter — only `1` takes the threadless path, but
+/// 2, 4, and 8 workers must all agree with it bit-for-bit.
+#[test]
+fn channel_engine_is_worker_count_invariant() {
+    let c = cfg(SystemKind::RwowRde, 800);
+    let serial = serial_json(&c, "streamcluster");
+    for jobs in [1usize, 2, 4, 8] {
+        assert_eq!(
+            serial,
+            parallel_json(&c, "streamcluster", jobs),
+            "jobs = {jobs}"
+        );
+    }
+}
+
+/// A `--jobs 1` pool must be the serial path (no worker threads at all),
+/// not merely equivalent to it.
+#[test]
+fn jobs_one_pool_is_threadless() {
+    let pool = Pool::new(1);
+    assert!(pool.is_serial());
+    assert_eq!(pool.jobs(), 1);
+}
+
+/// Sweep-level parallelism: farming (workload × kind) `run_one` points to
+/// 4 workers must reproduce the serial sweep byte-for-byte, in input
+/// order.
+#[test]
+fn sweep_runner_json_is_byte_identical_and_input_ordered() {
+    let points = || -> Vec<SweepPoint> {
+        ["streamcluster", "canneal"]
+            .iter()
+            .flat_map(|w| {
+                let wl = catalog::by_name(w).expect("catalog workload");
+                [
+                    SystemKind::Baseline,
+                    SystemKind::RwowNr,
+                    SystemKind::RwowRde,
+                ]
+                .into_iter()
+                .map(move |k| SweepPoint {
+                    cfg: cfg(k, 500),
+                    workload: wl.clone(),
+                })
+            })
+            .collect()
+    };
+    let serial: Vec<String> = SweepRunner::new(1)
+        .run_points(points())
+        .iter()
+        .map(|r| r.to_json().to_json_string())
+        .collect();
+    let par: Vec<String> = SweepRunner::new(4)
+        .run_points(points())
+        .iter()
+        .map(|r| r.to_json().to_json_string())
+        .collect();
+    assert_eq!(serial, par);
+}

@@ -2,12 +2,14 @@
 //! workspace binary that shells out to cargo).
 //!
 //! ```text
-//! cargo xtask ci       # fmt --check, clippy -D warnings, test
+//! cargo xtask ci       # fmt --check, clippy -D warnings, test, pardiff
 //! cargo xtask fmt      # rustfmt the whole tree
 //! cargo xtask lint     # clippy -D warnings only
+//! cargo xtask pardiff  # serial vs parallel JSON byte-diff gate
 //! ```
 
 use std::env;
+use std::fs;
 use std::process::{Command, ExitCode};
 
 fn cargo() -> Command {
@@ -50,15 +52,87 @@ fn test() -> Result<(), String> {
     step("test", &["test", "--workspace", "-q"])
 }
 
+/// Runs the simulator serially and in parallel and byte-compares the
+/// exported JSON — the end-to-end determinism gate behind `--jobs N`
+/// (DESIGN.md §9). Exercises both engines: the sweep pool (`--all`
+/// farms six system runs to workers) and the channel engine (a single
+/// run steps its four controllers concurrently).
+fn pardiff() -> Result<(), String> {
+    step(
+        "pardiff-build",
+        &[
+            "build",
+            "--release",
+            "-p",
+            "pcmap-bench",
+            "--bin",
+            "pcmap_run",
+        ],
+    )?;
+    let dir = env::temp_dir().join("pcmap-pardiff");
+    fs::create_dir_all(&dir).map_err(|e| format!("pardiff: mkdir: {e}"))?;
+    let pairs: &[(&str, &[&str])] = &[
+        ("sweep", &["--all", "--requests", "1500"]),
+        (
+            "channel",
+            &[
+                "--workload",
+                "canneal",
+                "--system",
+                "rwow-rde",
+                "--requests",
+                "1500",
+            ],
+        ),
+    ];
+    for (label, base) in pairs {
+        let mut outputs = Vec::new();
+        for jobs in ["1", "4"] {
+            let path = dir.join(format!("{label}-jobs{jobs}.json"));
+            let path_str = path.to_string_lossy().into_owned();
+            let mut args: Vec<&str> = vec![
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "pcmap-bench",
+                "--bin",
+                "pcmap_run",
+                "--",
+            ];
+            args.extend_from_slice(base);
+            args.extend_from_slice(&["--jobs", jobs, "--json", &path_str]);
+            step(&format!("pardiff-{label}-jobs{jobs}"), &args)?;
+            outputs.push(fs::read(&path).map_err(|e| format!("pardiff: read {path_str}: {e}"))?);
+        }
+        if outputs[0] != outputs[1] {
+            return Err(format!(
+                "pardiff: {label}: --jobs 4 JSON differs from --jobs 1 \
+                 (artifacts in {})",
+                dir.display()
+            ));
+        }
+        println!(
+            "xtask: pardiff {label}: --jobs 1 == --jobs 4 ({} bytes)",
+            outputs[0].len()
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let task = env::args().nth(1).unwrap_or_default();
     let result = match task.as_str() {
-        "ci" => fmt_check().and_then(|()| lint()).and_then(|()| test()),
+        "ci" => fmt_check()
+            .and_then(|()| lint())
+            .and_then(|()| test())
+            .and_then(|()| pardiff()),
         "fmt" => step("fmt", &["fmt", "--all"]),
         "lint" => lint(),
         "test" => test(),
+        "pardiff" => pardiff(),
         _ => {
-            eprintln!("usage: cargo xtask <ci|fmt|lint|test>");
+            eprintln!("usage: cargo xtask <ci|fmt|lint|test|pardiff>");
             return ExitCode::from(2);
         }
     };

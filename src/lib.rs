@@ -17,6 +17,8 @@
 //! - [`obs`] — telemetry: metric registry and mergeable snapshots, the
 //!   request-lifecycle event log, latency percentiles, windowed series,
 //!   JSON/CSV export (DESIGN.md §8).
+//! - [`par`] — deterministic parallel execution: the vendored scoped
+//!   thread pool behind `--jobs N` (DESIGN.md §9).
 //! - [`sim`] — the full-system simulator and the paper's experiment registry.
 //!
 //! ## Quickstart
@@ -42,6 +44,7 @@ pub use pcmap_ctrl as ctrl;
 pub use pcmap_device as device;
 pub use pcmap_ecc as ecc;
 pub use pcmap_obs as obs;
+pub use pcmap_par as par;
 pub use pcmap_sim as sim;
 pub use pcmap_types as types;
 pub use pcmap_workloads as workloads;
