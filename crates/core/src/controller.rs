@@ -102,6 +102,7 @@ impl PcmapController {
     /// Overrides the per-overlap `Status` poll cost (ablation hook).
     pub fn set_status_poll_cost(&mut self, cycles: u64) {
         self.status_poll = Duration(cycles);
+        self.core.checker.set_expected_status_poll(cycles);
     }
 
     /// Enables or disables overlap (RoW-style) reads outside drain mode.
@@ -181,6 +182,7 @@ impl PcmapController {
             if mask.is_empty() {
                 // Silent store — or the tail of a split write whose words
                 // have all landed.
+                self.core.checker.status_poll(bank, now, start, overlapping);
                 self.core.write_qs[bank.index()]
                     .remove(id)
                     .expect("still queued");
@@ -243,6 +245,7 @@ impl PcmapController {
                 continue;
             }
 
+            self.core.checker.status_poll(bank, now, start, overlapping);
             self.issue_fine_write(
                 req,
                 mask,
@@ -318,6 +321,14 @@ impl PcmapController {
         for w in outcome.essential.iter() {
             let chip = self.layout.chip_of_word(req.line, w);
             let end = program_start + outcome.kinds[w].duration(&self.core.t);
+            self.core.checker.command(
+                self.core.rank.timing(),
+                bank,
+                ChipSet::single(chip.index()),
+                start,
+                end,
+                "write data chip",
+            );
             self.core
                 .rank
                 .timing_mut()
@@ -335,6 +346,14 @@ impl PcmapController {
         }
         let ecc_chip = self.layout.ecc_chip(req.line);
         let ecc_end = start + upd;
+        self.core.checker.command(
+            self.core.rank.timing(),
+            bank,
+            ChipSet::single(ecc_chip.index()),
+            start,
+            ecc_end,
+            "write ECC chip",
+        );
         self.core.rank.timing_mut().reserve(
             bank,
             ChipSet::single(ecc_chip.index()),
@@ -350,6 +369,15 @@ impl PcmapController {
         // Step 2: PCC update immediately after the data phase.
         let pcc_chip = self.layout.pcc_chip(req.line);
         let pcc_end = data_end + upd;
+        self.core.checker.write_steps(bank, program_start, data_end);
+        self.core.checker.command(
+            self.core.rank.timing(),
+            bank,
+            ChipSet::single(pcc_chip.index()),
+            data_end,
+            pcc_end,
+            "write PCC chip",
+        );
         self.core.rank.timing_mut().reserve(
             bank,
             ChipSet::single(pcc_chip.index()),
@@ -479,6 +507,7 @@ impl PcmapController {
                 0 if ecc_free && (plain_ok || overlap_ok) => {
                     let mut set = word_chips;
                     set.insert_chip(ecc_chip);
+                    self.core.checker.status_poll(bank, now, start, overlapping);
                     return Some(self.issue_read(req, start, data_ready, set, None, None));
                 }
                 0 if self.kind.row_enabled() && (plain_ok || overlap_ok) => {
@@ -486,6 +515,7 @@ impl PcmapController {
                     // Words readable but only the ECC chip is busy: read
                     // now, defer the SECDED check. Profitable in every
                     // mode — the data is fully available.
+                    self.core.checker.status_poll(bank, now, start, overlapping);
                     return Some(self.issue_read(
                         req,
                         start,
@@ -511,6 +541,7 @@ impl PcmapController {
                     } else {
                         Some(ecc_chip)
                     };
+                    self.core.checker.status_poll(bank, now, start, overlapping);
                     return Some(self.issue_read(
                         req,
                         start,
@@ -565,6 +596,21 @@ impl PcmapController {
             &self.core.t,
         );
         debug_assert_eq!(transfer + Duration(self.core.t.burst), data_ready);
+        self.core.checker.row_read(
+            bank,
+            start,
+            self.layout.word_chips(req.line),
+            read_set,
+            self.layout.pcc_chip(req.line),
+        );
+        self.core.checker.command(
+            self.core.rank.timing(),
+            bank,
+            read_set,
+            start,
+            data_ready,
+            "read",
+        );
         self.core
             .rank
             .timing_mut()
@@ -624,6 +670,14 @@ impl PcmapController {
                 .timing()
                 .free_at(bank, verify_set, data_ready);
             let ve = vs + op::verify_read_occupancy(&self.core.t);
+            self.core.checker.command(
+                self.core.rank.timing(),
+                bank,
+                verify_set,
+                vs,
+                ve,
+                "deferred verify",
+            );
             self.core
                 .rank
                 .timing_mut()
@@ -684,6 +738,9 @@ impl PcmapController {
             },
         });
 
+        self.core
+            .checker
+            .retire(bank, via_row, data_ready, verify_done);
         Completion {
             id: req.id,
             core: req.core,
@@ -795,6 +852,20 @@ impl Controller for PcmapController {
 
     fn drains_started(&self) -> u64 {
         self.core.drains_started_total()
+    }
+
+    fn invariants_checked(&self) -> u64 {
+        self.core.checker.checked()
+    }
+
+    fn invariant_violations(&self) -> u64 {
+        self.core.checker.violation_count()
+    }
+
+    fn note_rollback(&mut self, at: Cycle, via_row: bool, had_deferred: bool) {
+        self.core
+            .checker
+            .rollback(BankId(0), at, via_row, had_deferred);
     }
 }
 

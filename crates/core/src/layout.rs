@@ -182,7 +182,7 @@ mod tests {
     #[test]
     fn ecc_rotation_moves_check_chips() {
         let l = Layout::rotate_all();
-        let chips: std::collections::HashSet<_> =
+        let chips: std::collections::BTreeSet<_> =
             (0..10).map(|i| l.ecc_chip(LineAddr(i)).0).collect();
         assert_eq!(chips.len(), 10, "ECC visits every chip over 10 lines");
     }
@@ -190,7 +190,7 @@ mod tests {
     #[test]
     fn same_offset_successive_lines_do_not_collide_when_rotated() {
         let l = Layout::rotate_data();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for line in 0..8u64 {
             seen.insert(l.chip_of_word(LineAddr(line), 3).0);
         }
@@ -228,7 +228,7 @@ mod tests {
         fn prop_layout_is_bijective(line: u64, rd: bool, re: bool) {
             let l = Layout { rotate_data: rd, rotate_ecc: re };
             let line = LineAddr(line);
-            let mut used = std::collections::HashSet::new();
+            let mut used = std::collections::BTreeSet::new();
             for w in 0..8 {
                 used.insert(l.chip_of_word(line, w).0);
             }

@@ -44,6 +44,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unused_must_use)]
 
 pub mod config;
 pub mod controller;

@@ -11,7 +11,7 @@ use pcmap_ctrl::{Controller, MemRequest, ReqId, ReqKind};
 use pcmap_types::{
     CacheLine, CoreId, Cycle, MemOrg, PhysAddr, QueueParams, TimingParams, Xoshiro256,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn soup(kind: SystemKind, seed: u64, ops: usize) {
     let org = MemOrg::tiny();
@@ -27,7 +27,7 @@ fn soup(kind: SystemKind, seed: u64, ops: usize) {
     let mut rng = Xoshiro256::new(seed);
     let mut now = Cycle(0);
     // Ground truth of the last *accepted* write per line.
-    let mut truth: HashMap<u64, CacheLine> = HashMap::new();
+    let mut truth: BTreeMap<u64, CacheLine> = BTreeMap::new();
 
     for next_id in 1..=ops as u64 {
         // Random arrival spacing.

@@ -42,6 +42,7 @@ impl ChannelBus {
 
     /// Earliest cycle a transfer in `dir` could begin, at or after
     /// `earliest`.
+    #[must_use]
     pub fn next_slot(&self, dir: BusDir, earliest: Cycle, params: &TimingParams) -> Cycle {
         let mut t = self.free_at;
         if let Some(last) = self.last_dir {
@@ -65,6 +66,7 @@ impl ChannelBus {
     }
 
     /// When the bus next goes idle.
+    #[must_use]
     pub fn free_at(&self) -> Cycle {
         self.free_at
     }

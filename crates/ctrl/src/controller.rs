@@ -10,6 +10,7 @@
 //! essential-word chips do useful work.
 
 use crate::bus::{BusDir, ChannelBus};
+use crate::check::ProtocolChecker;
 use crate::op;
 use crate::queues::{DrainPolicy, DrainState, RequestQueue};
 use crate::request::{Completion, MemRequest, ReqId, ReqKind};
@@ -89,6 +90,18 @@ pub trait Controller: Send {
 
     /// Number of write-drain episodes started so far.
     fn drains_started(&self) -> u64;
+
+    /// Number of protocol invariant checks performed (0 when the
+    /// checker is disabled — see [`crate::check::ProtocolChecker`]).
+    fn invariants_checked(&self) -> u64;
+
+    /// Number of protocol invariant violations observed.
+    fn invariant_violations(&self) -> u64;
+
+    /// Reports a CPU-side rollback trigger to the invariant checker:
+    /// rollback is only legal for a RoW read whose deferred SECDED
+    /// check was outstanding.
+    fn note_rollback(&mut self, at: Cycle, via_row: bool, had_deferred: bool);
 }
 
 /// Shared controller state and issue helpers.
@@ -124,11 +137,15 @@ pub struct CtrlCore {
     /// for a read-idle window rather than leaking out the moment the read
     /// queue is instantaneously empty.
     pub last_read_activity: Option<Cycle>,
+    /// Runtime protocol invariant checker (read-only w.r.t. the
+    /// simulation; enabled in debug builds and under `PCMAP_CHECK`).
+    pub checker: ProtocolChecker,
 }
 
 impl CtrlCore {
     /// Creates controller state for one channel.
     pub fn new(org: MemOrg, t: TimingParams, q: QueueParams, seed: u64) -> Self {
+        let checker = ProtocolChecker::from_env(&t);
         Self {
             org,
             t,
@@ -144,6 +161,7 @@ impl CtrlCore {
             last_write_end: vec![Cycle::ZERO; org.banks as usize],
             last_drain_exit: Cycle::ZERO,
             last_read_activity: None,
+            checker,
         }
     }
 
@@ -355,6 +373,14 @@ impl CtrlCore {
         let transfer = self.bus.reserve(BusDir::Read, now + to_transfer, &self.t);
         let data_ready = transfer + Duration(self.t.burst);
 
+        self.checker.command(
+            self.rank.timing(),
+            bank,
+            set,
+            now,
+            data_ready,
+            "coarse read",
+        );
         self.rank.timing_mut().reserve(bank, set, now, data_ready);
         self.rank.timing_mut().open_row(bank, set, req.loc.row);
 
@@ -496,6 +522,8 @@ impl CtrlCore {
         }
 
         let set = Self::baseline_write_set();
+        self.checker
+            .command(self.rank.timing(), bank, set, now, done, "baseline write");
         self.rank.timing_mut().reserve(bank, set, now, done);
 
         self.stats.irlp.open_window(bank, now, done);
@@ -659,6 +687,22 @@ impl Controller for BaselineController {
 
     fn drains_started(&self) -> u64 {
         self.core.drains_started_total()
+    }
+
+    fn invariants_checked(&self) -> u64 {
+        self.core.checker.checked()
+    }
+
+    fn invariant_violations(&self) -> u64 {
+        self.core.checker.violation_count()
+    }
+
+    fn note_rollback(&mut self, at: Cycle, via_row: bool, had_deferred: bool) {
+        // The baseline never serves speculative (RoW) reads, so any
+        // rollback report is a violation by construction.
+        self.core
+            .checker
+            .rollback(BankId(0), at, via_row, had_deferred);
     }
 }
 

@@ -39,8 +39,10 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unused_must_use)]
 
 pub mod bus;
+pub mod check;
 pub mod controller;
 pub mod irlp;
 pub mod op;
@@ -49,6 +51,7 @@ pub mod request;
 pub mod stats;
 
 pub use bus::{BusDir, ChannelBus};
+pub use check::{InvariantKind, ProtocolChecker, Violation};
 pub use controller::{BaselineController, Controller, CtrlCore};
 pub use irlp::{IrlpTracker, WindowId};
 pub use queues::{DrainPolicy, DrainState, RequestQueue};

@@ -22,6 +22,7 @@ use pcmap_types::{Duration, TimingParams};
 ///
 /// A row-buffer hit skips the array sensing and pays only the column
 /// latency; a miss senses the row first.
+#[must_use]
 pub fn read_latency_to_transfer(row_hit: bool, p: &TimingParams) -> Duration {
     if row_hit {
         Duration(p.t_cl)
@@ -31,12 +32,14 @@ pub fn read_latency_to_transfer(row_hit: bool, p: &TimingParams) -> Duration {
 }
 
 /// Total chip occupancy of a coarse read including the burst.
+#[must_use]
 pub fn read_occupancy(row_hit: bool, p: &TimingParams) -> Duration {
     read_latency_to_transfer(row_hit, p) + Duration(p.burst)
 }
 
 /// Chip occupancy of one per-chip word write: write latency, lane burst,
 /// then array programming.
+#[must_use]
 pub fn chip_write_occupancy(kind: WriteKind, p: &TimingParams) -> Duration {
     match kind {
         WriteKind::Silent => {
@@ -56,12 +59,14 @@ pub fn chip_write_occupancy(kind: WriteKind, p: &TimingParams) -> Duration {
 /// RESET latency makes the ECC/PCC chips a *partial* serialization point
 /// for consecutive writes: enough contention that rotating them away
 /// matters (the paper's RWoW-RDE gain), without fully serializing WoW.
+#[must_use]
 pub fn check_chip_write_occupancy(p: &TimingParams) -> Duration {
     Duration(p.t_wl + p.burst + p.array_reset)
 }
 
 /// Occupancy of the deferred-verify read RoW schedules on the previously
 /// busy chip (a one-chip column read).
+#[must_use]
 pub fn verify_read_occupancy(p: &TimingParams) -> Duration {
     Duration(p.array_read + p.t_cl + p.burst)
 }

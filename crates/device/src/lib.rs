@@ -31,6 +31,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unused_must_use)]
 
 pub mod dimm;
 pub mod energy;

@@ -7,7 +7,7 @@
 
 use pcmap_ecc::LineCodec;
 use pcmap_types::{BankId, CacheLine, ColAddr, MemOrg, RowAddr};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A stored cache line together with its ECC and PCC words (the contents of
 /// the ninth and tenth chips for this line).
@@ -26,7 +26,7 @@ pub struct StoredLine {
 pub struct RankStorage {
     org: MemOrg,
     codec: LineCodec,
-    lines: HashMap<u64, StoredLine>,
+    lines: BTreeMap<u64, StoredLine>,
     /// Seed mixed into default content so different ranks hold different
     /// pristine data.
     seed: u64,
@@ -44,7 +44,7 @@ impl RankStorage {
         Self {
             org,
             codec: LineCodec::new(),
-            lines: HashMap::new(),
+            lines: BTreeMap::new(),
             seed,
         }
     }

@@ -24,17 +24,20 @@ pub struct ChipBankState {
 
 impl ChipBankState {
     /// `true` if no reservation covers `now`.
+    #[must_use]
     pub fn is_free(&self, now: Cycle) -> bool {
         self.res.iter().all(|&(s, e)| now < s || now >= e)
     }
 
     /// `true` if `[start, end)` overlaps no reservation.
+    #[must_use]
     pub fn is_free_during(&self, start: Cycle, end: Cycle) -> bool {
         self.res.iter().all(|&(s, e)| end <= s || start >= e)
     }
 
     /// The time at which this chip is clear of every reservation still
     /// active or scheduled at/after `now`.
+    #[must_use]
     pub fn clear_from(&self, now: Cycle) -> Cycle {
         self.res
             .iter()
@@ -46,6 +49,7 @@ impl ChipBankState {
     }
 
     /// The earliest reservation boundary strictly after `now`, if any.
+    #[must_use]
     pub fn next_boundary(&self, now: Cycle) -> Option<Cycle> {
         self.res
             .iter()
@@ -110,6 +114,7 @@ impl RankTiming {
     }
 
     /// Returns `true` if `chip` is idle for `bank` at time `now`.
+    #[must_use]
     #[inline]
     pub fn is_free(&self, bank: BankId, chip: ChipId, now: Cycle) -> bool {
         self.chip(bank, chip).is_free(now)
@@ -117,6 +122,7 @@ impl RankTiming {
 
     /// Returns `true` if every chip in `set` is free for the whole of
     /// `[start, end)` on `bank`.
+    #[must_use]
     pub fn set_free_during(&self, bank: BankId, set: ChipSet, start: Cycle, end: Cycle) -> bool {
         set.chips()
             .all(|c| self.chip(bank, c).is_free_during(start, end))
@@ -124,6 +130,7 @@ impl RankTiming {
 
     /// The set of chips of `bank` that are busy at `now` — exactly what the
     /// DIMM register's status flags report.
+    #[must_use]
     pub fn busy_set(&self, bank: BankId, now: Cycle) -> ChipSet {
         let mut set = ChipSet::empty();
         for c in 0..self.chips {
@@ -137,6 +144,7 @@ impl RankTiming {
 
     /// Earliest time at or after `now` when *all* chips in `set` are clear
     /// of every reservation still pending on `bank`.
+    #[must_use]
     pub fn free_at(&self, bank: BankId, set: ChipSet, now: Cycle) -> Cycle {
         let mut t = now;
         for chip in set.chips() {
@@ -169,6 +177,7 @@ impl RankTiming {
 
     /// The subset of `set` whose row buffer for `bank` does *not* currently
     /// hold `row` (and therefore needs an activate).
+    #[must_use]
     pub fn chips_needing_activate(&self, bank: BankId, set: ChipSet, row: RowAddr) -> ChipSet {
         let mut need = ChipSet::empty();
         for chip in set.chips() {
@@ -181,6 +190,7 @@ impl RankTiming {
 
     /// The earliest reservation boundary strictly after `now` across the
     /// whole rank (scheduling wake hint).
+    #[must_use]
     pub fn next_boundary(&self, now: Cycle) -> Option<Cycle> {
         self.state.iter().filter_map(|s| s.next_boundary(now)).min()
     }

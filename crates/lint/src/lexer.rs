@@ -1,0 +1,299 @@
+//! A minimal line-oriented Rust lexer: just enough to separate *code*
+//! from comments, string literals and char literals, so the rule engine
+//! never fires on a `HashMap` mentioned in a doc comment or inside a
+//! string.
+//!
+//! The output keeps line structure intact: for every source line we
+//! produce the line's code with comment text removed and string/char
+//! *contents* blanked to spaces (delimiters kept, so token adjacency
+//! does not change), plus the text of every comment that starts or
+//! continues on that line (where suppression directives live).
+
+/// One source line, split into lintable code and comment text.
+#[derive(Debug, Clone, Default)]
+pub struct LineView {
+    /// Code with comments stripped and literal contents blanked.
+    pub code: String,
+    /// Comment text (without `//` / `/*` markers) seen on this line.
+    pub comments: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nested block-comment depth (Rust block comments nest).
+    BlockComment(u32),
+    Str,
+    /// Raw string with `n` hashes: terminated by `"` followed by `n` `#`s.
+    RawStr(u32),
+    CharLit,
+}
+
+/// Splits `src` into per-line [`LineView`]s.
+///
+/// Handles line and (nested) block comments, plain and raw string
+/// literals (including byte strings), char literals, and distinguishes
+/// lifetimes (`'a`) from char literals.
+pub fn strip(src: &str) -> Vec<LineView> {
+    let b: Vec<char> = src.chars().collect();
+    let mut lines: Vec<LineView> = vec![LineView::default()];
+    let mut comment_buf = String::new();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    // Appends to the current line's code.
+    fn code_push(lines: &mut [LineView], c: char) {
+        lines.last_mut().expect("non-empty").code.push(c);
+    }
+    fn flush_comment(lines: &mut [LineView], buf: &mut String) {
+        if !buf.is_empty() {
+            lines
+                .last_mut()
+                .expect("non-empty")
+                .comments
+                .push(std::mem::take(buf));
+        }
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            flush_comment(&mut lines, &mut comment_buf);
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(LineView::default());
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && b.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    // Raw string? Look back over `r` / `br` and hashes.
+                    let mut hashes = 0usize;
+                    let mut j = i;
+                    while j > 0 && b[j - 1] == '#' {
+                        hashes += 1;
+                        j -= 1;
+                    }
+                    let raw = j > 0 && (b[j - 1] == 'r') && {
+                        // `r` must itself start the literal (possibly after `b`),
+                        // not terminate an identifier like `var`.
+                        let k = if j >= 2 && b[j - 2] == 'b' {
+                            j - 2
+                        } else {
+                            j - 1
+                        };
+                        k == 0 || !is_ident_char(b[k - 1])
+                    };
+                    code_push(&mut lines, '"');
+                    state = if raw {
+                        State::RawStr(hashes as u32)
+                    } else {
+                        State::Str
+                    };
+                    i += 1;
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a char literal is `'x'` or
+                    // `'\…'`; a lifetime is `'ident` with no closing quote.
+                    let next = b.get(i + 1).copied();
+                    let after = b.get(i + 2).copied();
+                    let is_char = matches!(next, Some('\\')) || after == Some('\'');
+                    code_push(&mut lines, '\'');
+                    if is_char {
+                        state = State::CharLit;
+                    }
+                    i += 1;
+                } else {
+                    code_push(&mut lines, c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comment_buf.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && b.get(i + 1) == Some(&'/') {
+                    if depth == 1 {
+                        flush_comment(&mut lines, &mut comment_buf);
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    comment_buf.push_str("/*");
+                    i += 2;
+                } else {
+                    comment_buf.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code_push(&mut lines, ' ');
+                    if b.get(i + 1).is_some() && b[i + 1] != '\n' {
+                        code_push(&mut lines, ' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    code_push(&mut lines, '"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code_push(&mut lines, ' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let n = hashes as usize;
+                    let closed = (1..=n).all(|k| b.get(i + k) == Some(&'#'));
+                    if closed {
+                        code_push(&mut lines, '"');
+                        for _ in 0..n {
+                            code_push(&mut lines, '#');
+                        }
+                        state = State::Code;
+                        i += 1 + n;
+                    } else {
+                        code_push(&mut lines, ' ');
+                        i += 1;
+                    }
+                } else {
+                    code_push(&mut lines, ' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    code_push(&mut lines, ' ');
+                    if b.get(i + 1).is_some() {
+                        code_push(&mut lines, ' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    code_push(&mut lines, '\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    code_push(&mut lines, ' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    flush_comment(&mut lines, &mut comment_buf);
+    lines
+}
+
+/// `true` for characters that may appear inside a Rust identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds `needle` in `code` as a whole identifier (not a substring of a
+/// longer identifier). Returns the byte offset of the first match.
+pub fn find_ident(code: &str, needle: &str) -> Option<usize> {
+    let bytes = code.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let before_ok = start == 0 || !is_ident_char(bytes[start - 1] as char);
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end] as char);
+        if before_ok && after_ok {
+            return Some(start);
+        }
+        from = end;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        strip(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comment_is_removed_from_code() {
+        let v = strip("let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!v[0].code.contains("HashMap"));
+        assert_eq!(v[0].comments.len(), 1);
+        assert!(v[0].comments[0].contains("HashMap"));
+        assert_eq!(v[1].code, "let y = 2;");
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let v = strip("a /* one /* two */ still */ b\nc");
+        assert_eq!(v[0].code.trim_end(), "a  b");
+        assert!(v[0].comments[0].contains("two"));
+        assert_eq!(v[1].code, "c");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let v = code_of("let s = \"HashMap::new()\";");
+        assert!(!v[0].contains("HashMap"));
+        assert!(v[0].contains('"'));
+        assert!(v[0].ends_with(';'));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let v = code_of(r#"let s = "say \"HashMap\""; let t = HashMap;"#);
+        assert!(find_ident(&v[0], "HashMap").is_some());
+        assert_eq!(v[0].matches("HashMap").count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let v = code_of("let s = r#\"Instant::now()\"#; Instant");
+        assert_eq!(v[0].matches("Instant").count(), 1);
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_raw_string() {
+        let v = code_of("let var = \"SystemTime\"; SystemTime");
+        assert_eq!(v[0].matches("SystemTime").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let v = code_of("fn f<'a>(x: &'a str) -> &'a str { x } // thread_rng");
+        assert!(v[0].contains("fn f<'a>"));
+        assert!(!v[0].contains("thread_rng"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let v = code_of("let c = 'H'; let d = '\\n'; HashSet");
+        assert!(find_ident(&v[0], "HashSet").is_some());
+        assert!(!v[0].contains("'H'"));
+    }
+
+    #[test]
+    fn find_ident_requires_word_boundaries() {
+        assert!(find_ident("MyHashMapLike", "HashMap").is_none());
+        assert!(find_ident("HashMap::new()", "HashMap").is_some());
+        assert!(find_ident("a.HashMap", "HashMap").is_some());
+        assert!(find_ident("", "HashMap").is_none());
+    }
+}

@@ -1,0 +1,459 @@
+//! Rule catalog and the per-file rule engine.
+//!
+//! Rules operate on the comment-stripped, literal-blanked line views
+//! produced by [`crate::lexer::strip`], so neither doc comments nor
+//! string literals can trigger (or suppress) anything by accident.
+
+use crate::lexer::{self, LineView};
+
+/// Every lint rule pcmap-lint knows about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `std::collections::HashMap`/`HashSet`: iteration order is
+    /// randomized per process, which breaks the byte-identical
+    /// serial-vs-parallel contract (DESIGN.md §9).
+    HashCollections,
+    /// `Instant::now` / `SystemTime` / `thread_rng` in sim-facing
+    /// crates: wall-clock or ambient randomness makes runs
+    /// irreproducible.
+    WallClock,
+    /// Unchecked `as` narrowing on cycle/address-typed expressions:
+    /// silently truncates once a simulation runs long enough.
+    AsNarrowing,
+    /// `f32`/`f64` accumulation in per-cycle stats paths: float sums
+    /// are order-sensitive, so parallel merge order would leak into
+    /// results.
+    FloatAccumulation,
+    /// A `pcmap-lint:` directive that is malformed, names an unknown
+    /// rule, or lacks a non-empty `reason = "..."`.
+    BadSuppression,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 5] = [
+        Rule::HashCollections,
+        Rule::WallClock,
+        Rule::AsNarrowing,
+        Rule::FloatAccumulation,
+        Rule::BadSuppression,
+    ];
+
+    /// Kebab-case name used in diagnostics and `allow(...)` directives.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::HashCollections => "hash-collections",
+            Rule::WallClock => "wall-clock",
+            Rule::AsNarrowing => "as-narrowing",
+            Rule::FloatAccumulation => "float-accumulation",
+            Rule::BadSuppression => "bad-suppression",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.name() == name)
+    }
+}
+
+/// How aggressively a crate is linted, decided from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateScope {
+    /// Simulation-facing code: all rules. Determinism here is
+    /// load-bearing for `par_equiv` and the golden anchors.
+    SimFacing,
+    /// Repo tooling (xtask, bench driver, the linter itself): only the
+    /// ordering rule — tooling may not feed unordered maps into
+    /// reports, but wall-clock use is legitimate there.
+    Tooling,
+    /// Vendored dependency shims (`criterion`, `proptest`): exempt.
+    /// criterion *must* read the wall clock to bench; proptest routes
+    /// its RNG through an explicit per-test seed already.
+    Vendored,
+}
+
+impl CrateScope {
+    pub fn rules(self) -> &'static [Rule] {
+        match self {
+            CrateScope::SimFacing => &[
+                Rule::HashCollections,
+                Rule::WallClock,
+                Rule::AsNarrowing,
+                Rule::FloatAccumulation,
+                Rule::BadSuppression,
+            ],
+            CrateScope::Tooling => &[Rule::HashCollections, Rule::BadSuppression],
+            CrateScope::Vendored => &[],
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CrateScope::SimFacing => "sim-facing",
+            CrateScope::Tooling => "tooling",
+            CrateScope::Vendored => "vendored",
+        }
+    }
+}
+
+/// One finding, pointing at a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: Rule,
+    pub path: String,
+    pub line: usize,
+    pub message: String,
+    /// The offending source line, trimmed, for human output.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}\n    | {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message,
+            self.snippet
+        )
+    }
+}
+
+/// A parsed `pcmap-lint: allow(...)` directive.
+#[derive(Debug)]
+struct Suppression {
+    rule: Rule,
+    /// 0-based line the directive sits on; covers that line and the
+    /// next. `None` for `allow-file`.
+    line: Option<usize>,
+}
+
+/// Parses the directives in one comment. Returns the suppressions and
+/// any `bad-suppression` diagnostics.
+fn parse_directives(
+    comment: &str,
+    line0: usize,
+    path: &str,
+    raw_line: &str,
+) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut diags = Vec::new();
+    // A directive must *start* the comment (after doc markers), so
+    // prose that merely mentions `pcmap-lint:` never parses as one.
+    let lead = comment.trim_start_matches(['/', '!', '*', ' ', '\t']);
+    if !lead.starts_with("pcmap-lint:") {
+        return (sups, diags);
+    }
+    let mut rest = lead;
+    while let Some(pos) = rest.find("pcmap-lint:") {
+        let after = &rest[pos + "pcmap-lint:".len()..];
+        let body = after.trim_start();
+        let (file_wide, args) = if let Some(a) = body.strip_prefix("allow-file(") {
+            (true, a)
+        } else if let Some(a) = body.strip_prefix("allow(") {
+            (false, a)
+        } else {
+            diags.push(Diagnostic {
+                rule: Rule::BadSuppression,
+                path: path.to_owned(),
+                line: line0 + 1,
+                message: "pcmap-lint directive must be `allow(<rule>, reason = \"...\")` \
+                          or `allow-file(<rule>, reason = \"...\")`"
+                    .to_owned(),
+                snippet: raw_line.trim().to_owned(),
+            });
+            rest = after;
+            continue;
+        };
+        match parse_allow_args(args) {
+            Ok(rule) => sups.push(Suppression {
+                rule,
+                line: if file_wide { None } else { Some(line0) },
+            }),
+            Err(why) => diags.push(Diagnostic {
+                rule: Rule::BadSuppression,
+                path: path.to_owned(),
+                line: line0 + 1,
+                message: why,
+                snippet: raw_line.trim().to_owned(),
+            }),
+        }
+        rest = after;
+    }
+    (sups, diags)
+}
+
+/// Parses `<rule>, reason = "<non-empty>")…` after the opening paren.
+fn parse_allow_args(args: &str) -> Result<Rule, String> {
+    let close = args
+        .find(')')
+        .ok_or_else(|| "unterminated allow(...) directive".to_owned())?;
+    let inner = &args[..close];
+    let mut parts = inner.splitn(2, ',');
+    let rule_name = parts.next().unwrap_or("").trim();
+    let rule = Rule::from_name(rule_name)
+        .ok_or_else(|| format!("unknown lint rule `{rule_name}` in allow(...)"))?;
+    let reason_part = parts
+        .next()
+        .map(str::trim)
+        .ok_or_else(|| format!("allow({rule_name}) is missing `reason = \"...\"`",))?;
+    let value = reason_part
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|s| s.strip_prefix('='))
+        .map(str::trim_start)
+        .ok_or_else(|| format!("allow({rule_name}) is missing `reason = \"...\"`",))?;
+    let quoted = value
+        .strip_prefix('"')
+        .and_then(|s| s.rfind('"').map(|e| &s[..e]))
+        .ok_or_else(|| format!("allow({rule_name}) reason must be a quoted string"))?;
+    if quoted.trim().is_empty() {
+        return Err(format!("allow({rule_name}) reason must not be empty"));
+    }
+    Ok(rule)
+}
+
+const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
+const CLOCK_IDENTS: [&str; 3] = ["Instant", "SystemTime", "thread_rng"];
+const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+/// Identifier fragments that mark a value as cycle- or address-typed.
+const TIME_ADDR_MARKERS: [&str; 16] = [
+    "cycle", "now", "done", "arrival", "wake", "deadline", "latency", "duration", "addr", "row",
+    "col", "line", "bank", "start", "end", "tick",
+];
+
+/// Lints one already-stripped file.
+pub fn lint_lines(path: &str, raw: &str, lines: &[LineView], scope: CrateScope) -> Vec<Diagnostic> {
+    let rules = scope.rules();
+    if rules.is_empty() {
+        return Vec::new();
+    }
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    let raw_at = |i: usize| raw_lines.get(i).copied().unwrap_or("");
+
+    // Pass 1: collect suppressions (+ bad-suppression findings).
+    let mut file_allowed: Vec<Rule> = Vec::new();
+    // (rule, 0-based line) pairs; a directive covers its own line and
+    // the next, so `// pcmap-lint: allow(...)` can sit above the code.
+    let mut line_allowed: Vec<(Rule, usize)> = Vec::new();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for (i, lv) in lines.iter().enumerate() {
+        for comment in &lv.comments {
+            let (sups, bad) = parse_directives(comment, i, path, raw_at(i));
+            for s in sups {
+                match s.line {
+                    None => file_allowed.push(s.rule),
+                    Some(l) => {
+                        line_allowed.push((s.rule, l));
+                        line_allowed.push((s.rule, l + 1));
+                    }
+                }
+            }
+            if rules.contains(&Rule::BadSuppression) {
+                diags.extend(bad);
+            }
+        }
+    }
+    let allowed = |rule: Rule, line0: usize| {
+        file_allowed.contains(&rule) || line_allowed.contains(&(rule, line0))
+    };
+
+    // Pass 2: run the content rules over the stripped code.
+    for (i, lv) in lines.iter().enumerate() {
+        let code = lv.code.as_str();
+        if code.trim().is_empty() {
+            continue;
+        }
+        if rules.contains(&Rule::HashCollections) && !allowed(Rule::HashCollections, i) {
+            for ty in HASH_TYPES {
+                if lexer::find_ident(code, ty).is_some() {
+                    let ordered = if ty == "HashMap" {
+                        "BTreeMap"
+                    } else {
+                        "BTreeSet"
+                    };
+                    diags.push(Diagnostic {
+                        rule: Rule::HashCollections,
+                        path: path.to_owned(),
+                        line: i + 1,
+                        message: format!(
+                            "`{ty}` has randomized iteration order; use `{ordered}` or an \
+                             indexed structure from pcmap-par (DESIGN.md §9 determinism \
+                             contract)"
+                        ),
+                        snippet: raw_at(i).trim().to_owned(),
+                    });
+                }
+            }
+        }
+        if rules.contains(&Rule::WallClock) && !allowed(Rule::WallClock, i) {
+            for ident in CLOCK_IDENTS {
+                if lexer::find_ident(code, ident).is_some() {
+                    diags.push(Diagnostic {
+                        rule: Rule::WallClock,
+                        path: path.to_owned(),
+                        line: i + 1,
+                        message: format!(
+                            "`{ident}` in a sim-facing crate: simulated time must come from \
+                             `types::Cycle`, randomness from an explicit seed"
+                        ),
+                        snippet: raw_at(i).trim().to_owned(),
+                    });
+                }
+            }
+        }
+        if rules.contains(&Rule::AsNarrowing) && !allowed(Rule::AsNarrowing, i) {
+            if let Some(chain) = narrowing_cast_source(code) {
+                diags.push(Diagnostic {
+                    rule: Rule::AsNarrowing,
+                    path: path.to_owned(),
+                    line: i + 1,
+                    message: format!(
+                        "`{chain} as <narrow int>` on a cycle/address-typed value truncates \
+                         silently; use `try_into()` or widen the target type"
+                    ),
+                    snippet: raw_at(i).trim().to_owned(),
+                });
+            }
+        }
+        if rules.contains(&Rule::FloatAccumulation)
+            && !allowed(Rule::FloatAccumulation, i)
+            && float_accumulation(code)
+        {
+            diags.push(Diagnostic {
+                rule: Rule::FloatAccumulation,
+                path: path.to_owned(),
+                line: i + 1,
+                message: "floating-point `+=` accumulation is order-sensitive; keep \
+                          per-cycle stats in integer counters and divide at report time"
+                    .to_owned(),
+                snippet: raw_at(i).trim().to_owned(),
+            });
+        }
+    }
+    diags
+}
+
+/// If `code` contains `<ident-chain> as <narrow-int>` where the chain
+/// names a cycle/address-flavoured value, returns the chain.
+///
+/// Parenthesised expressions (`(a + b) as u8`) are skipped: the cast
+/// source is no longer a single typed value, and the existing codebase
+/// uses that form for already-range-checked field packing.
+fn narrowing_cast_source(code: &str) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(" as ") {
+        let at = from + pos;
+        from = at + 4;
+        // Target type directly after ` as `.
+        let after = &code[at + 4..];
+        let ty: String = after
+            .chars()
+            .take_while(|&c| lexer::is_ident_char(c))
+            .collect();
+        if !NARROW_TARGETS.contains(&ty.as_str()) {
+            continue;
+        }
+        // Walk the identifier chain (idents joined by `.` / `::`)
+        // backwards from the cast.
+        let mut j = at;
+        while j > 0 {
+            let c = bytes[j - 1] as char;
+            if lexer::is_ident_char(c) || c == '.' || c == ':' {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        let chain = &code[j..at];
+        if chain.is_empty() || (j > 0 && bytes[j - 1] as char == ')') {
+            continue;
+        }
+        let lower = chain.to_ascii_lowercase();
+        if TIME_ADDR_MARKERS.iter().any(|m| lower.contains(m)) {
+            return Some(chain.to_owned());
+        }
+    }
+    None
+}
+
+/// `+=` whose right-hand side shows float evidence: an `f32`/`f64`
+/// token, a float literal (`1.0`), or a cast to float. Only the RHS is
+/// scanned so `counts[w(&[1.0])] += 1` (integer bump, float index
+/// math) stays clean.
+fn float_accumulation(code: &str) -> bool {
+    let Some(pos) = code.find("+=") else {
+        return false;
+    };
+    let rhs = &code[pos + 2..];
+    if lexer::find_ident(rhs, "f32").is_some() || lexer::find_ident(rhs, "f64").is_some() {
+        return true;
+    }
+    // Digit '.' digit — a float literal (range patterns use `..`).
+    let b = rhs.as_bytes();
+    b.windows(3)
+        .any(|w| w[0].is_ascii_digit() && w[1] == b'.' && w[2].is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_sim(src: &str) -> Vec<Diagnostic> {
+        let lines = crate::lexer::strip(src);
+        lint_lines("test.rs", src, &lines, CrateScope::SimFacing)
+    }
+
+    #[test]
+    fn rule_names_round_trip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rule::from_name("no-such-rule"), None);
+    }
+
+    #[test]
+    fn narrowing_requires_marker_and_narrow_target() {
+        assert!(narrowing_cast_source("let x = done_cycle as u32;").is_some());
+        assert!(narrowing_cast_source("let x = addr as u16;").is_some());
+        // Wide target is fine.
+        assert!(narrowing_cast_source("let x = done_cycle as u64;").is_none());
+        // No time/addr marker in the chain.
+        assert!(narrowing_cast_source("let x = flags as u8;").is_none());
+        // Parenthesised sources are skipped.
+        assert!(narrowing_cast_source("let x = (row + 1) as u16;").is_none());
+    }
+
+    #[test]
+    fn float_accumulation_needs_both_signals() {
+        assert!(float_accumulation("self.mean += x as f64;"));
+        assert!(float_accumulation("total += 0.5;"));
+        assert!(!float_accumulation("self.count += 1;"));
+        assert!(!float_accumulation("let y: f64 = 1.0;"));
+    }
+
+    #[test]
+    fn suppression_with_reason_silences_one_line() {
+        let src = "// pcmap-lint: allow(hash-collections, reason = \"scratch map in test\")\n\
+                   let m = HashMap::new();\n\
+                   let n = HashMap::new();\n";
+        let d = lint_sim(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn suppression_without_reason_is_flagged() {
+        let src = "let m = HashMap::new(); // pcmap-lint: allow(hash-collections)\n";
+        let d = lint_sim(src);
+        assert!(d.iter().any(|x| x.rule == Rule::BadSuppression), "{d:?}");
+    }
+
+    #[test]
+    fn allow_file_covers_whole_file() {
+        let src = "// pcmap-lint: allow-file(wall-clock, reason = \"host-side shim\")\n\
+                   use std::time::Instant;\n\
+                   let t = Instant::now();\n";
+        assert!(lint_sim(src).is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Fixture-driven self-tests: every lint rule has a fixture that
+//! triggers it, plus clean fixtures proving suppressions and the
+//! lexer's comment/string handling do not over-fire.
+
+use pcmap_lint::{lint_source, CrateScope, Rule};
+
+fn lint_fixture(name: &str, src: &str) -> Vec<pcmap_lint::Diagnostic> {
+    lint_source(name, src, CrateScope::SimFacing)
+}
+
+fn lines_for(diags: &[pcmap_lint::Diagnostic], rule: Rule) -> Vec<usize> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+#[test]
+fn hash_collections_fixture_triggers() {
+    let src = include_str!("fixtures/hash_collections.rs.fixture");
+    let diags = lint_fixture("hash_collections.rs", src);
+    assert_eq!(lines_for(&diags, Rule::HashCollections), vec![3, 4, 7, 8]);
+    assert_eq!(
+        diags.len(),
+        4,
+        "only hash-collections should fire: {diags:?}"
+    );
+}
+
+#[test]
+fn wall_clock_fixture_triggers() {
+    let src = include_str!("fixtures/wall_clock.rs.fixture");
+    let diags = lint_fixture("wall_clock.rs", src);
+    assert_eq!(lines_for(&diags, Rule::WallClock), vec![2, 3, 6, 7, 8]);
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("thread_rng") || d.snippet.contains("thread_rng")));
+}
+
+#[test]
+fn as_narrowing_fixture_triggers() {
+    let src = include_str!("fixtures/as_narrowing.rs.fixture");
+    let diags = lint_fixture("as_narrowing.rs", src);
+    assert_eq!(lines_for(&diags, Rule::AsNarrowing), vec![4, 5, 6]);
+    assert_eq!(
+        diags.len(),
+        3,
+        "wide/marker-free/paren casts must not fire: {diags:?}"
+    );
+}
+
+#[test]
+fn float_accumulation_fixture_triggers() {
+    let src = include_str!("fixtures/float_accumulation.rs.fixture");
+    let diags = lint_fixture("float_accumulation.rs", src);
+    assert_eq!(lines_for(&diags, Rule::FloatAccumulation), vec![4, 5]);
+    assert_eq!(diags.len(), 2, "{diags:?}");
+}
+
+#[test]
+fn bad_suppression_fixture_triggers() {
+    let src = include_str!("fixtures/bad_suppression.rs.fixture");
+    let diags = lint_fixture("bad_suppression.rs", src);
+    let bad = lines_for(&diags, Rule::BadSuppression);
+    assert_eq!(bad, vec![3, 4, 5, 6, 7], "{diags:?}");
+}
+
+#[test]
+fn suppressed_fixture_is_clean() {
+    let src = include_str!("fixtures/suppressed_clean.rs.fixture");
+    let diags = lint_fixture("suppressed_clean.rs", src);
+    assert!(
+        diags.is_empty(),
+        "reasoned suppressions must silence: {diags:?}"
+    );
+}
+
+#[test]
+fn lexer_tricky_fixture_is_clean() {
+    let src = include_str!("fixtures/lexer_tricky.rs.fixture");
+    let diags = lint_fixture("lexer_tricky.rs", src);
+    assert!(
+        diags.is_empty(),
+        "comment/string mentions must not fire: {diags:?}"
+    );
+}
+
+#[test]
+fn vendored_scope_ignores_everything() {
+    let src = include_str!("fixtures/wall_clock.rs.fixture");
+    assert!(lint_source("vendored.rs", src, CrateScope::Vendored).is_empty());
+}
+
+#[test]
+fn tooling_scope_keeps_only_ordering_rules() {
+    let clock = include_str!("fixtures/wall_clock.rs.fixture");
+    assert!(lint_source("tool.rs", clock, CrateScope::Tooling).is_empty());
+    let hash = include_str!("fixtures/hash_collections.rs.fixture");
+    let diags = lint_source("tool.rs", hash, CrateScope::Tooling);
+    assert_eq!(diags.len(), 4);
+}

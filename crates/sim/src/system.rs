@@ -145,6 +145,12 @@ pub struct RunReport {
     pub row_blocked_pcc: u64,
     /// Per-chip write imbalance (max/mean; 1.0 = perfectly balanced).
     pub wear_imbalance: f64,
+    /// Protocol-invariant checks evaluated across channels (0 when the
+    /// checker is compiled out or disabled via `PCMAP_CHECK=0`).
+    pub invariants_checked: u64,
+    /// Protocol-invariant violations observed (always 0 on a healthy run;
+    /// strict mode panics at the violation site instead of counting).
+    pub invariant_violations: u64,
     /// Dynamic PCM energy (reads sensed + bits programmed), nanojoules.
     pub energy_dynamic_nj: f64,
     /// Total PCM energy including background power over the run, nJ.
@@ -247,6 +253,11 @@ impl RunReport {
         v.set("ecc_corrected", Value::U64(self.ecc_corrected));
         v.set("ecc_uncorrectable", Value::U64(self.ecc_uncorrectable));
         v.set("wear_imbalance", Value::F64(self.wear_imbalance));
+        v.set("invariants_checked", Value::U64(self.invariants_checked));
+        v.set(
+            "invariant_violations",
+            Value::U64(self.invariant_violations),
+        );
         v.set("energy_dynamic_nj", Value::F64(self.energy_dynamic_nj));
         v.set("energy_total_nj", Value::F64(self.energy_total_nj));
         v.set("read_latency", self.read_latency_hist.to_json());
@@ -270,6 +281,10 @@ struct Delivery {
     is_read: bool,
     via_row: bool,
     verify_done: Option<Cycle>,
+    /// Originating channel (rollback attribution; not part of the ordering
+    /// key, which must stay exactly (when, core, is_read) so delivery order
+    /// — and with it every golden byte — is unchanged).
+    chan: usize,
 }
 
 impl Ord for Delivery {
@@ -481,9 +496,9 @@ impl System {
                     *out = ctrl.step(now);
                 }
             }
-            for out in &mut epoch_out {
+            for (ch, out) in epoch_out.iter_mut().enumerate() {
                 for comp in std::mem::take(out) {
-                    self.push_completion(comp);
+                    self.push_completion(ch, comp);
                 }
             }
 
@@ -555,6 +570,7 @@ impl System {
                 if let Some((at, penalty)) = self.rollback[d.core].on_row_read(vd) {
                     let cpu_at = mem_to_cpu(at, &self.cfg.cpu);
                     self.cores[d.core].rollback(cpu_at, penalty);
+                    self.ctrls[d.chan].note_rollback(at, d.via_row, d.verify_done.is_some());
                     self.registry.add(self.m_rollbacks, 1);
                     self.events.record(Event {
                         at,
@@ -567,13 +583,14 @@ impl System {
         }
     }
 
-    fn push_completion(&mut self, comp: Completion) {
+    fn push_completion(&mut self, chan: usize, comp: Completion) {
         self.deliveries.push(Reverse(Delivery {
             when: comp.done,
             core: comp.core.index(),
             is_read: comp.is_read,
             via_row: comp.via_row,
             verify_done: comp.verify_done,
+            chan,
         }));
     }
 
@@ -674,7 +691,7 @@ impl System {
             self.ctrls[ch].enqueue_read(req, now).map(|fwd| {
                 self.cores[i].read_issued();
                 if let Some(comp) = fwd {
-                    self.push_completion(comp);
+                    self.push_completion(ch, comp);
                 }
             })
         } else {
@@ -732,6 +749,8 @@ impl System {
             .map(|ctrl| {
                 let mut s = ctrl.stats().snapshot();
                 s.set_counter("drains_started", ctrl.drains_started());
+                s.set_counter("invariants_checked", ctrl.invariants_checked());
+                s.set_counter("invariant_violations", ctrl.invariant_violations());
                 s
             })
             .collect()
@@ -866,6 +885,8 @@ impl System {
                 Cycle(now.0).as_nanos() * self.ctrls.len() as f64,
             ),
             wear_imbalance: wear_imb,
+            invariants_checked: merged.counter("invariants_checked"),
+            invariant_violations: merged.counter("invariant_violations"),
             channels,
             cores,
             sim: self.registry.snapshot(),
@@ -997,6 +1018,21 @@ mod tests {
             assert!(items[0].get("counters").is_some());
         } else {
             panic!("channels must be a JSON array");
+        }
+    }
+
+    #[test]
+    fn invariant_checker_green_on_healthy_runs() {
+        for kind in [
+            SystemKind::Baseline,
+            SystemKind::RwowNr,
+            SystemKind::RwowRde,
+        ] {
+            let r = small_run(kind, 800);
+            assert_eq!(r.invariant_violations, 0, "{kind:?}");
+            if cfg!(debug_assertions) {
+                assert!(r.invariants_checked > 0, "{kind:?} checker never ran");
+            }
         }
     }
 

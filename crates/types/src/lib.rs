@@ -28,6 +28,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unused_must_use)]
 
 pub mod addr;
 pub mod config;

@@ -29,6 +29,7 @@ impl Cycle {
     pub const MAX: Cycle = Cycle(u64::MAX);
 
     /// Raw cycle count.
+    #[must_use]
     #[inline]
     pub fn as_u64(self) -> u64 {
         self.0
@@ -36,18 +37,21 @@ impl Cycle {
 
     /// Elapsed time since `earlier`, saturating at zero if `earlier` is
     /// in the future.
+    #[must_use]
     #[inline]
     pub fn since(self, earlier: Cycle) -> Duration {
         Duration(self.0.saturating_sub(earlier.0))
     }
 
     /// The later of two instants.
+    #[must_use]
     #[inline]
     pub fn max(self, other: Cycle) -> Cycle {
         Cycle(self.0.max(other.0))
     }
 
     /// Converts to nanoseconds of simulated time.
+    #[must_use]
     #[inline]
     pub fn as_nanos(self) -> f64 {
         self.0 as f64 * PS_PER_CYCLE as f64 / 1000.0
@@ -60,18 +64,21 @@ impl Duration {
 
     /// Builds a duration from nanoseconds, rounding *up* to whole cycles
     /// (hardware cannot finish mid-cycle).
+    #[must_use]
     #[inline]
     pub fn from_nanos(ns: u64) -> Duration {
         Duration((ns * 1000).div_ceil(PS_PER_CYCLE))
     }
 
     /// Raw cycle count.
+    #[must_use]
     #[inline]
     pub fn as_u64(self) -> u64 {
         self.0
     }
 
     /// Converts to nanoseconds of simulated time.
+    #[must_use]
     #[inline]
     pub fn as_nanos(self) -> f64 {
         self.0 as f64 * PS_PER_CYCLE as f64 / 1000.0

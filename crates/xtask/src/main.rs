@@ -2,9 +2,11 @@
 //! workspace binary that shells out to cargo).
 //!
 //! ```text
-//! cargo xtask ci       # fmt --check, clippy -D warnings, test, pardiff
+//! cargo xtask ci       # fmt --check, lint, clippy -D warnings, test, check, pardiff
 //! cargo xtask fmt      # rustfmt the whole tree
-//! cargo xtask lint     # clippy -D warnings only
+//! cargo xtask lint     # pcmap-lint determinism/hygiene pass -> results/lint.json
+//! cargo xtask clippy   # clippy -D warnings only
+//! cargo xtask check    # PCMAP_CHECK=1 release experiment runs (protocol invariants)
 //! cargo xtask pardiff  # serial vs parallel JSON byte-diff gate
 //! ```
 
@@ -18,9 +20,16 @@ fn cargo() -> Command {
 
 /// Runs one gate step, returning `Err(step name)` on failure.
 fn step(name: &str, args: &[&str]) -> Result<(), String> {
-    println!("xtask: cargo {}", args.join(" "));
+    step_env(name, args, &[])
+}
+
+/// Like [`step`], with extra environment variables set for the child.
+fn step_env(name: &str, args: &[&str], envs: &[(&str, &str)]) -> Result<(), String> {
+    let rendered: Vec<String> = envs.iter().map(|(k, v)| format!("{k}={v} ")).collect();
+    println!("xtask: {}cargo {}", rendered.join(""), args.join(" "));
     let status = cargo()
         .args(args)
+        .envs(envs.iter().map(|&(k, v)| (k, v)))
         .status()
         .map_err(|e| format!("{name}: {e}"))?;
     if status.success() {
@@ -34,7 +43,26 @@ fn fmt_check() -> Result<(), String> {
     step("fmt", &["fmt", "--all", "--check"])
 }
 
+/// The pcmap-lint determinism/hygiene pass (DESIGN.md §10): bans
+/// `HashMap`/`HashSet`, wall-clock and OS-entropy sources in sim-facing
+/// crates, unchecked `as` narrowing on cycle/address values, and float
+/// accumulation in per-cycle stats. Writes `results/lint.json`.
 fn lint() -> Result<(), String> {
+    step(
+        "lint",
+        &[
+            "run",
+            "-q",
+            "-p",
+            "pcmap-lint",
+            "--",
+            "--json",
+            "results/lint.json",
+        ],
+    )
+}
+
+fn clippy() -> Result<(), String> {
     step(
         "clippy",
         &[
@@ -50,6 +78,33 @@ fn lint() -> Result<(), String> {
 
 fn test() -> Result<(), String> {
     step("test", &["test", "--workspace", "-q"])
+}
+
+/// Runs the headline experiments in release mode with the protocol
+/// invariant checker forced on (`PCMAP_CHECK=1`, strict): Figures 8–11
+/// via `figs_all` plus Tables III and IV at quick scale. Any schedule
+/// that breaks a paper invariant (busy-chip command, RoW without a PCC
+/// plan, step-2 PCC gap, retire before deferred SECDED, spurious
+/// rollback, wrong Status cost) aborts the run.
+fn check() -> Result<(), String> {
+    for bin in ["figs_all", "tab03_latency_ratio", "tab04_rollback"] {
+        step_env(
+            &format!("check-{bin}"),
+            &[
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "pcmap-bench",
+                "--bin",
+                bin,
+                "--",
+                "quick",
+            ],
+            &[("PCMAP_CHECK", "1")],
+        )?;
+    }
+    Ok(())
 }
 
 /// Runs the simulator serially and in parallel and byte-compares the
@@ -125,14 +180,18 @@ fn main() -> ExitCode {
     let result = match task.as_str() {
         "ci" => fmt_check()
             .and_then(|()| lint())
+            .and_then(|()| clippy())
             .and_then(|()| test())
+            .and_then(|()| check())
             .and_then(|()| pardiff()),
         "fmt" => step("fmt", &["fmt", "--all"]),
         "lint" => lint(),
+        "clippy" => clippy(),
         "test" => test(),
+        "check" => check(),
         "pardiff" => pardiff(),
         _ => {
-            eprintln!("usage: cargo xtask <ci|fmt|lint|test|pardiff>");
+            eprintln!("usage: cargo xtask <ci|fmt|lint|clippy|test|check|pardiff>");
             return ExitCode::from(2);
         }
     };

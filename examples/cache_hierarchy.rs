@@ -80,6 +80,7 @@ fn main() {
     let mut mean = 0.0;
     for (i, &n) in essential_hist.iter().enumerate() {
         let pct = n as f64 * 100.0 / total as f64;
+        // pcmap-lint: allow(float-accumulation, reason = "example's final histogram mean, computed once at print time")
         mean += i as f64 * n as f64 / total as f64;
         println!(
             "  {i} words: {pct:5.1}%  {}",
