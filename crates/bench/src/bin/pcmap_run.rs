@@ -4,6 +4,7 @@
 //! pcmap_run [--workload NAME] [--system KIND] [--requests N]
 //!           [--ratio R] [--seed S] [--rollback faulty|clean] [--all]
 //!           [--jobs N] [--json PATH] [--csv PATH]
+//!           [--fault-rate R] [--fault-seed S]
 //! ```
 //!
 //! `KIND` is one of `baseline`, `row-nr`, `wow-nr`, `rwow-nr`, `rwow-rd`,
@@ -18,11 +19,15 @@
 //! farmed to N pool workers; a single run instead advances its four
 //! channel controllers concurrently (epoch lockstep, DESIGN.md §9).
 //! Every table, JSON, and CSV byte is identical at any `N`.
+//!
+//! `--fault-rate R` (with optional `--fault-seed S`, or the `PCMAP_FAULTS`
+//! env variable as `RATE[:SEED]`) runs under a deterministic fault storm
+//! (DESIGN.md §11). The default rate of 0 leaves every fault hook inert.
 
 use pcmap_core::{RollbackMode, SystemKind};
 use pcmap_obs::Value;
 use pcmap_sim::{RunReport, SimConfig, SweepRunner, System, TableBuilder};
-use pcmap_types::TimingParams;
+use pcmap_types::{FaultConfig, TimingParams};
 use pcmap_workloads::catalog;
 
 struct Args {
@@ -36,6 +41,8 @@ struct Args {
     jobs: usize,
     json: Option<String>,
     csv: Option<String>,
+    fault_rate: f64,
+    fault_seed: u64,
 }
 
 fn parse_system(v: &str) -> Option<SystemKind> {
@@ -68,7 +75,14 @@ fn parse_args() -> Result<Args, String> {
         jobs: pcmap_bench::jobs_from_args(),
         json: None,
         csv: None,
+        fault_rate: 0.0,
+        fault_seed: pcmap_bench::DEFAULT_FAULT_SEED,
     };
+    // `PCMAP_FAULTS=RATE[:SEED]` seeds the defaults; explicit flags win.
+    if let Some(f) = pcmap_bench::faults_from_env() {
+        args.fault_rate = f.rate;
+        args.fault_seed = f.seed;
+    }
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
@@ -111,11 +125,22 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json = Some(value("--json")?),
             "--csv" => args.csv = Some(value("--csv")?),
+            "--fault-rate" => {
+                args.fault_rate = value("--fault-rate")?
+                    .parse()
+                    .map_err(|e| format!("bad fault rate: {e}"))?;
+            }
+            "--fault-seed" => {
+                args.fault_seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("bad fault seed: {e}"))?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: pcmap_run [--workload NAME] [--system KIND] [--requests N] \
                      [--ratio R] [--seed S] [--rollback faulty|clean] [--all] \
-                     [--jobs N] [--json PATH] [--csv PATH]"
+                     [--jobs N] [--json PATH] [--csv PATH] \
+                     [--fault-rate R] [--fault-seed S]"
                 );
                 std::process::exit(0);
             }
@@ -132,6 +157,9 @@ fn build(args: &Args, kind: SystemKind, wl: &catalog::Workload) -> System {
         .with_rollback(args.rollback);
     if let Some(r) = args.ratio {
         cfg = cfg.with_timing(TimingParams::paper_default().with_write_to_read_ratio(r));
+    }
+    if args.fault_rate > 0.0 {
+        cfg = cfg.with_faults(FaultConfig::storm(args.fault_rate, args.fault_seed));
     }
     System::new(cfg, wl.clone())
 }
@@ -198,6 +226,14 @@ fn main() {
         args.ratio
             .map(|r| format!(" · write:read {r}x"))
             .unwrap_or_default()
+            + &if args.fault_rate > 0.0 {
+                format!(
+                    " · faults {} (seed {:#x})",
+                    args.fault_rate, args.fault_seed
+                )
+            } else {
+                String::new()
+            }
     );
     print!("{}", t.render());
 

@@ -46,6 +46,29 @@ pub fn runner_from_args() -> SweepRunner {
     SweepRunner::new(jobs_from_args())
 }
 
+/// Default seed for fault-injection runs that don't pass `--fault-seed`.
+pub const DEFAULT_FAULT_SEED: u64 = 0xFA11;
+
+/// Parses a fault-storm spec of the form `RATE` or `RATE:SEED` (e.g.
+/// `0.02` or `0.02:77`) into a [`FaultConfig::storm`] profile. A rate of
+/// `0` yields the disabled configuration.
+pub fn parse_fault_spec(spec: &str) -> Option<pcmap_types::FaultConfig> {
+    let (rate, seed) = match spec.split_once(':') {
+        Some((r, s)) => (r.trim().parse().ok()?, s.trim().parse().ok()?),
+        None => (spec.trim().parse().ok()?, DEFAULT_FAULT_SEED),
+    };
+    let cfg = pcmap_types::FaultConfig::storm(rate, seed);
+    cfg.validate().ok()?;
+    Some(cfg)
+}
+
+/// Fault configuration from the `PCMAP_FAULTS` environment variable
+/// (`RATE` or `RATE:SEED`), if set and well-formed. Lets any experiment
+/// binary run under a fault storm without new flags.
+pub fn faults_from_env() -> Option<pcmap_types::FaultConfig> {
+    parse_fault_spec(&std::env::var("PCMAP_FAULTS").ok()?)
+}
+
 /// Runs the Figures 8–11 evaluation matrix on `runner` and appends the
 /// two average rows the paper reports (`Average(MT)`, `Average(MP)`).
 pub fn matrix_with_averages(scale: EvalScale, runner: &mut SweepRunner) -> Vec<WorkloadEval> {

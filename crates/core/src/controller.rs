@@ -137,9 +137,37 @@ impl PcmapController {
         self.inflight.retain(|w| w.data_end > now);
     }
 
+    /// Whether this channel's rank is currently demoted to coarse
+    /// scheduling (advances the degradation state machine to `now`).
+    /// Always `false` without a fault plan.
+    fn rank_degraded(&mut self, now: Cycle) -> bool {
+        match self.core.faults.as_mut() {
+            Some(plan) => plan.is_degraded(now),
+            None => false,
+        }
+    }
+
+    /// Number of Status polls an overlapped issue pays: 1 normally, 2
+    /// when the fault plan corrupts the poll response and it must be
+    /// repeated (§IV-D1).
+    fn poll_count(&mut self) -> u64 {
+        let corrupted = match self.core.faults.as_mut() {
+            Some(plan) => plan.on_status_poll(),
+            None => false,
+        };
+        if corrupted {
+            self.core.stats.faults_injected += 1;
+            self.core.stats.faults_status_poll += 1;
+            2
+        } else {
+            1
+        }
+    }
+
     /// Attempts to issue one write (fine-grained, all phases committed).
     /// Returns `true` on issue.
     fn try_issue_write(&mut self, now: Cycle, out: &mut Vec<Completion>) -> bool {
+        let degraded = self.rank_degraded(now);
         // Gather candidates across bank queues, oldest first per bank.
         let mut candidates: Vec<MemRequest> = Vec::new();
         for q in &self.core.write_qs {
@@ -162,12 +190,15 @@ impl PcmapController {
                 continue;
             }
             let overlapping = self.has_inflight(bank, now);
-            if overlapping && !self.kind.wow_enabled() {
+            // A degraded rank loses WoW speculation: overlapped writes
+            // wait for the in-flight write like the baseline would.
+            if overlapping && (!self.kind.wow_enabled() || degraded) {
                 skipped_lines.push(req.line);
                 continue;
             }
+            let polls = if overlapping { self.poll_count() } else { 1 };
             let start = if overlapping {
-                now + self.status_poll
+                now + Duration(self.status_poll.0 * polls)
             } else {
                 now
             };
@@ -182,7 +213,9 @@ impl PcmapController {
             if mask.is_empty() {
                 // Silent store — or the tail of a split write whose words
                 // have all landed.
-                self.core.checker.status_poll(bank, now, start, overlapping);
+                self.core
+                    .checker
+                    .status_poll_n(bank, now, start, overlapping, polls);
                 self.core.write_qs[bank.index()]
                     .remove(id)
                     .expect("still queued");
@@ -245,7 +278,14 @@ impl PcmapController {
                 continue;
             }
 
-            self.core.checker.status_poll(bank, now, start, overlapping);
+            self.core
+                .checker
+                .status_poll_n(bank, now, start, overlapping, polls);
+            if overlapping {
+                self.core
+                    .checker
+                    .speculative_on_degraded(bank, start, degraded, "WoW write");
+            }
             self.issue_fine_write(
                 req,
                 mask,
@@ -392,7 +432,15 @@ impl PcmapController {
                 "P".to_owned()
             });
 
-        let done = pcc_end;
+        // Fault hooks (inert without a plan): this write may burn out a
+        // cell, and one essential chip may run slow or hang. A slow chip
+        // stretches the data phase, so completion waits for it.
+        self.core
+            .plant_wear_fault(bank, req.loc.row, req.loc.col, start);
+        let data_set = self.layout.chips_of_mask(req.line, outcome.essential);
+        let fault_end = self.core.apply_chip_fault(bank, data_set, start, data_end);
+
+        let done = pcc_end.max(fault_end);
         self.core.stats.irlp.open_window(bank, start, data_end);
         self.inflight.push(InflightWrite { bank, data_end });
         if !partial {
@@ -428,6 +476,8 @@ impl PcmapController {
             via_row: false,
             verify_done: None,
             forwarded: false,
+            failed: false,
+            corrupted: false,
         });
     }
 
@@ -444,6 +494,7 @@ impl PcmapController {
         plain_allowed: bool,
         overlap_everywhere: bool,
     ) -> Option<Completion> {
+        let degraded = self.rank_degraded(now);
         let ids: Vec<ReqId> = self.core.read_q.iter().map(|r| r.id).collect();
         for id in ids {
             let req = *self
@@ -463,8 +514,9 @@ impl PcmapController {
             if !plain_ok && !overlap_ok {
                 continue;
             }
+            let polls = if overlapping { self.poll_count() } else { 1 };
             let start = if overlapping {
-                now + self.status_poll
+                now + Duration(self.status_poll.0 * polls)
             } else {
                 now
             };
@@ -507,15 +559,25 @@ impl PcmapController {
                 0 if ecc_free && (plain_ok || overlap_ok) => {
                     let mut set = word_chips;
                     set.insert_chip(ecc_chip);
-                    self.core.checker.status_poll(bank, now, start, overlapping);
+                    self.core
+                        .checker
+                        .status_poll_n(bank, now, start, overlapping, polls);
                     return Some(self.issue_read(req, start, data_ready, set, None, None));
                 }
-                0 if self.kind.row_enabled() && (plain_ok || overlap_ok) => {
+                0 if self.kind.row_enabled() && !degraded && (plain_ok || overlap_ok) => {
                     self.core.stats.reads_deferred_only += 1;
                     // Words readable but only the ECC chip is busy: read
                     // now, defer the SECDED check. Profitable in every
                     // mode — the data is fully available.
-                    self.core.checker.status_poll(bank, now, start, overlapping);
+                    self.core
+                        .checker
+                        .status_poll_n(bank, now, start, overlapping, polls);
+                    self.core.checker.speculative_on_degraded(
+                        bank,
+                        start,
+                        degraded,
+                        "deferred-verify read",
+                    );
                     return Some(self.issue_read(
                         req,
                         start,
@@ -525,7 +587,7 @@ impl PcmapController {
                         None,
                     ));
                 }
-                1 if self.kind.row_enabled() && overlap_ok && pcc_free => {
+                1 if self.kind.row_enabled() && !degraded && overlap_ok && pcc_free => {
                     let missing = busy_words[0];
                     let mut set = word_chips;
                     set.remove(missing.index());
@@ -541,7 +603,15 @@ impl PcmapController {
                     } else {
                         Some(ecc_chip)
                     };
-                    self.core.checker.status_poll(bank, now, start, overlapping);
+                    self.core
+                        .checker
+                        .status_poll_n(bank, now, start, overlapping, polls);
+                    self.core.checker.speculative_on_degraded(
+                        bank,
+                        start,
+                        degraded,
+                        "RoW reconstruction",
+                    );
                     return Some(self.issue_read(
                         req,
                         start,
@@ -551,7 +621,7 @@ impl PcmapController {
                         Some(missing),
                     ));
                 }
-                1 if self.kind.row_enabled() && overlap_ok => {
+                1 if self.kind.row_enabled() && !degraded && overlap_ok => {
                     self.core.stats.row_blocked_pcc_busy += 1;
                     continue;
                 }
@@ -699,13 +769,14 @@ impl PcmapController {
             None
         };
 
-        // SECDED check (inline or at the deferred verify — functionally
-        // identical for statistics).
-        match codec.verify(&stored.data, stored.ecc) {
-            c if c.is_clean() => {}
-            pcmap_ecc::line::LineCheck::Corrected { .. } => self.core.stats.ecc_corrected += 1,
-            _ => self.core.stats.ecc_uncorrectable += 1,
-        }
+        // SECDED check (inline or at the deferred verify) and, under fault
+        // injection, the correction/reconstruction/retry pipeline. When the
+        // check is deferred, corrupt data has already been handed upward;
+        // the resolution flags it so the CPU rolls back at `verify_done`.
+        let res =
+            self.core
+                .resolve_read(bank, req.loc.row, req.loc.col, start, verify_done.is_some());
+        let data_ready = data_ready + res.extra;
 
         if self.core.read_was_delayed(bank, req.arrival, start) {
             self.core.stats.reads_delayed_by_write += 1;
@@ -750,6 +821,8 @@ impl PcmapController {
             via_row,
             verify_done,
             forwarded: false,
+            failed: res.failed,
+            corrupted: res.corrupted,
         }
     }
 }
@@ -770,6 +843,7 @@ impl Controller for PcmapController {
     fn step(&mut self, now: Cycle) -> Vec<Completion> {
         let mut out = Vec::new();
         let banks = self.core.org.banks;
+        self.core.service_watchdogs(now);
         loop {
             let mut issued = false;
             // Refresh per-bank drain states.
@@ -793,14 +867,21 @@ impl Controller for PcmapController {
         self.prune_inflight(now);
         self.core.stats.irlp.settle(now);
         self.core.rank.timing_mut().prune(now);
+        self.core.sync_fault_stats(now);
         out
     }
 
     fn next_wake(&self, now: Cycle) -> Option<Cycle> {
-        if self.core.read_q.is_empty() && self.core.write_q_len_total() == 0 {
+        if self.core.read_q.is_empty()
+            && self.core.write_q_len_total() == 0
+            && self.core.watchdogs.is_empty()
+        {
             return None;
         }
         let mut wake = Cycle::MAX;
+        for w in &self.core.watchdogs {
+            wake = Cycle(wake.0.min(w.fire_at.0));
+        }
         if let Some(b) = self.core.rank.timing().next_boundary(now) {
             wake = Cycle(wake.0.min(b.0));
         }
@@ -866,6 +947,10 @@ impl Controller for PcmapController {
         self.core
             .checker
             .rollback(BankId(0), at, via_row, had_deferred);
+    }
+
+    fn set_fault_plan(&mut self, plan: Option<pcmap_faults::FaultPlan>) {
+        self.core.faults = plan;
     }
 }
 

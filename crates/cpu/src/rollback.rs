@@ -10,6 +10,11 @@
 
 use pcmap_types::{Cycle, Xoshiro256};
 
+/// Two corruption rollbacks within this many memory cycles of each other
+/// belong to the same *storm* — a burst of squashes from one noisy rank
+/// that the degradation machinery is expected to cut short.
+pub const STORM_WINDOW: u64 = 1024;
+
 /// Decides which RoW reads incur a rollback.
 #[derive(Debug, Clone)]
 pub struct RollbackModel {
@@ -23,6 +28,13 @@ pub struct RollbackModel {
     rng: Xoshiro256,
     row_reads: u64,
     consumed_before_check: u64,
+    /// Rollbacks forced by injected corruption (deferred check found the
+    /// consumed line genuinely bad) — distinct from the probabilistic
+    /// consumed-before-check accounting above.
+    corruption_rollbacks: u64,
+    last_corruption: Option<Cycle>,
+    storm_len: u64,
+    longest_storm: u64,
 }
 
 impl RollbackModel {
@@ -38,6 +50,10 @@ impl RollbackModel {
             rng: Xoshiro256::new(seed ^ 0x5ca1_ab1e),
             row_reads: 0,
             consumed_before_check: 0,
+            corruption_rollbacks: 0,
+            last_corruption: None,
+            storm_len: 0,
+            longest_storm: 0,
         }
     }
 
@@ -54,6 +70,35 @@ impl RollbackModel {
             }
         }
         None
+    }
+
+    /// Registers a corruption discovered by a deferred check at `at`: the
+    /// CPU consumed data that really was bad, so the squash is
+    /// unconditional — no consumed-before-check coin flip. Draw-free by
+    /// design (never advances the RNG), so wiring this path in leaves
+    /// fault-free runs bit-identical.
+    ///
+    /// Returns `(squash_at, penalty_cpu)`.
+    pub fn on_corruption(&mut self, at: Cycle) -> (Cycle, u64) {
+        self.corruption_rollbacks += 1;
+        let in_storm = self
+            .last_corruption
+            .is_some_and(|prev| at.0.saturating_sub(prev.0) <= STORM_WINDOW);
+        self.storm_len = if in_storm { self.storm_len + 1 } else { 1 };
+        self.longest_storm = self.longest_storm.max(self.storm_len);
+        self.last_corruption = Some(at);
+        (at, self.penalty_cpu)
+    }
+
+    /// Rollbacks forced by real (injected) corruption.
+    pub fn corruption_rollbacks(&self) -> u64 {
+        self.corruption_rollbacks
+    }
+
+    /// Length of the longest run of corruption rollbacks spaced at most
+    /// [`STORM_WINDOW`] memory cycles apart.
+    pub fn longest_storm(&self) -> u64 {
+        self.longest_storm
     }
 
     /// RoW reads observed.
@@ -120,5 +165,67 @@ mod tests {
     fn probability_is_clamped() {
         let m = RollbackModel::new(7.5, true, 128, 3);
         assert_eq!(m.consumed_p, 1.0);
+    }
+
+    #[test]
+    fn corruption_rollback_is_unconditional_and_draw_free() {
+        // consumed_p = 0 would never roll back probabilistically; the
+        // corruption path must squash anyway, without touching the RNG.
+        let mut m = RollbackModel::new(0.0, false, 64, 9);
+        let mut twin = m.clone();
+        let (at, pen) = m.on_corruption(Cycle(300));
+        assert_eq!((at, pen), (Cycle(300), 64));
+        assert_eq!(m.corruption_rollbacks(), 1);
+        // The RNG streams stay in lockstep after the corruption.
+        for _ in 0..50 {
+            assert_eq!(m.on_row_read(Cycle(5)), twin.on_row_read(Cycle(5)));
+        }
+    }
+
+    #[test]
+    fn zero_depth_rollback_counts_but_charges_nothing() {
+        use crate::core_model::CoreModel;
+        use pcmap_types::{CoreId, CpuParams};
+        let mut m = RollbackModel::new(0.0, false, 0, 1);
+        let (at, pen) = m.on_corruption(Cycle(10));
+        assert_eq!(pen, 0, "zero-penalty model must charge zero cycles");
+        let mut core = CoreModel::new(CoreId(0), &CpuParams::paper_default());
+        let before = core.now();
+        core.rollback(at.0.min(before), pen);
+        assert_eq!(core.stats().rollbacks, 1);
+        assert_eq!(core.stats().rollback_cycles, 0);
+        assert_eq!(core.now(), before, "zero-depth rollback must not move time");
+    }
+
+    #[test]
+    fn nested_rollbacks_serialize_their_penalties() {
+        use crate::core_model::CoreModel;
+        use pcmap_types::{CoreId, CpuParams};
+        // Two squashes landing at the same instant (a rollback arriving
+        // while the previous penalty is still being paid) must pay both
+        // penalties back to back, never overlap them.
+        let mut core = CoreModel::new(CoreId(0), &CpuParams::paper_default());
+        core.rollback(100, 128);
+        let after_first = core.now();
+        assert!(after_first >= 228);
+        core.rollback(100, 128);
+        assert_eq!(core.now(), after_first + 128);
+        assert_eq!(core.stats().rollbacks, 2);
+        assert_eq!(core.stats().rollback_cycles, 256);
+    }
+
+    #[test]
+    fn storm_accounting_tracks_bursts_and_resets_on_gaps() {
+        let mut m = RollbackModel::new(0.0, false, 64, 2);
+        // Burst of three corruptions inside the storm window.
+        m.on_corruption(Cycle(100));
+        m.on_corruption(Cycle(100 + STORM_WINDOW / 2));
+        m.on_corruption(Cycle(100 + STORM_WINDOW));
+        assert_eq!(m.longest_storm(), 3);
+        // A gap wider than the window starts a fresh storm.
+        m.on_corruption(Cycle(100 + 3 * STORM_WINDOW));
+        m.on_corruption(Cycle(101 + 3 * STORM_WINDOW));
+        assert_eq!(m.longest_storm(), 3, "shorter storm must not raise peak");
+        assert_eq!(m.corruption_rollbacks(), 5);
     }
 }

@@ -46,6 +46,16 @@ pub enum InvariantKind {
     /// An operation overlapped onto a bank with in-flight work was not
     /// charged exactly the configured `Status` poll cost (§IV-D1).
     StatusPollCost,
+    /// A speculative (RoW/WoW) operation was issued to a rank that the
+    /// fault layer has demoted to coarse scheduling (DESIGN.md §11:
+    /// degraded ranks trade throughput for certainty, never speculate).
+    RowOnDegraded,
+    /// An uncorrectable read was retried beyond the configured
+    /// fault-recovery retry budget instead of being failed upward.
+    RetryOverBudget,
+    /// The rank watchdog force-freed a stuck chip before the configured
+    /// deadline past the operation's expected end had elapsed.
+    EarlyWatchdog,
 }
 
 impl InvariantKind {
@@ -58,6 +68,9 @@ impl InvariantKind {
             InvariantKind::RetireBeforeVerify => "retire-before-verify",
             InvariantKind::RollbackWithoutFault => "rollback-without-fault",
             InvariantKind::StatusPollCost => "status-poll-cost",
+            InvariantKind::RowOnDegraded => "row-on-degraded",
+            InvariantKind::RetryOverBudget => "retry-over-budget",
+            InvariantKind::EarlyWatchdog => "early-watchdog",
         }
     }
 }
@@ -290,12 +303,27 @@ impl ProtocolChecker {
     /// in-flight work on its bank starts exactly `status_poll` cycles
     /// after the decision; a non-overlapped one starts immediately.
     pub fn status_poll(&mut self, bank: BankId, now: Cycle, start: Cycle, overlapped: bool) {
+        self.status_poll_n(bank, now, start, overlapped, 1);
+    }
+
+    /// Like [`Self::status_poll`], for an overlapped issue whose poll
+    /// had to be repeated `polls` times (a corrupted/lost Status
+    /// response is re-polled, multiplying the bus charge — DESIGN.md
+    /// §11).
+    pub fn status_poll_n(
+        &mut self,
+        bank: BankId,
+        now: Cycle,
+        start: Cycle,
+        overlapped: bool,
+        polls: u64,
+    ) {
         if !self.enabled {
             return;
         }
         self.checked += 1;
         let expected = if overlapped {
-            now + self.status_poll
+            now + Duration(self.status_poll.0 * polls)
         } else {
             now
         };
@@ -305,8 +333,65 @@ impl ProtocolChecker {
                 bank,
                 now,
                 format!(
-                    "overlapped={overlapped}: start {} but expected {} (poll cost {})",
+                    "overlapped={overlapped}: start {} but expected {} \
+                     ({polls} poll(s) at cost {})",
                     start.0, expected.0, self.status_poll.0
+                ),
+            );
+        }
+    }
+
+    /// Validates that a speculative (RoW/WoW) issue only happens on a
+    /// healthy rank: the fault layer's degraded mode forbids
+    /// speculation until the rank re-promotes (DESIGN.md §11).
+    pub fn speculative_on_degraded(&mut self, bank: BankId, at: Cycle, degraded: bool, what: &str) {
+        if !self.enabled {
+            return;
+        }
+        self.checked += 1;
+        if degraded {
+            self.violate(
+                InvariantKind::RowOnDegraded,
+                bank,
+                at,
+                format!("{what} issued while the rank is degraded"),
+            );
+        }
+    }
+
+    /// Validates an uncorrectable-read retry: `attempt` is 1-based and
+    /// must never exceed the configured budget.
+    pub fn retry(&mut self, bank: BankId, at: Cycle, attempt: u32, budget: u32) {
+        if !self.enabled {
+            return;
+        }
+        self.checked += 1;
+        if attempt > budget {
+            self.violate(
+                InvariantKind::RetryOverBudget,
+                bank,
+                at,
+                format!("retry attempt {attempt} exceeds budget {budget}"),
+            );
+        }
+    }
+
+    /// Validates a watchdog trip: the stuck chip may only be
+    /// force-freed once `deadline` cycles have passed beyond the
+    /// operation's expected end.
+    pub fn watchdog(&mut self, bank: BankId, at: Cycle, expected_end: Cycle, deadline: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.checked += 1;
+        if at < expected_end + Duration(deadline) {
+            self.violate(
+                InvariantKind::EarlyWatchdog,
+                bank,
+                at,
+                format!(
+                    "watchdog fired at {} but deadline is {} + {deadline}",
+                    at.0, expected_end.0
                 ),
             );
         }
@@ -401,5 +486,47 @@ mod tests {
     fn strict_mode_panics() {
         let mut c = ProtocolChecker::strict(&TimingParams::paper_default());
         c.rollback(BankId(0), Cycle(0), false, false);
+    }
+
+    #[test]
+    fn repeated_status_polls_price_correctly() {
+        let mut c = checker();
+        let poll = TimingParams::paper_default().status_cmd;
+        // A corrupted poll re-polled once: cost doubles.
+        c.status_poll_n(BankId(0), Cycle(100), Cycle(100 + 2 * poll), true, 2);
+        assert_eq!(c.violation_count(), 0);
+        // Charging only a single poll for a repeated one is a violation.
+        c.status_poll_n(BankId(0), Cycle(100), Cycle(100 + poll), true, 2);
+        assert_eq!(c.violation_count(), 1);
+    }
+
+    #[test]
+    fn speculation_on_degraded_rank_fires() {
+        let mut c = checker();
+        c.speculative_on_degraded(BankId(1), Cycle(5), false, "row read");
+        assert_eq!(c.violation_count(), 0);
+        c.speculative_on_degraded(BankId(1), Cycle(6), true, "row read");
+        assert_eq!(c.violation_count(), 1);
+        assert_eq!(c.violations()[0].kind, InvariantKind::RowOnDegraded);
+    }
+
+    #[test]
+    fn retry_budget_is_enforced() {
+        let mut c = checker();
+        c.retry(BankId(0), Cycle(1), 3, 3);
+        assert_eq!(c.violation_count(), 0);
+        c.retry(BankId(0), Cycle(2), 4, 3);
+        assert_eq!(c.violation_count(), 1);
+        assert_eq!(c.violations()[0].kind, InvariantKind::RetryOverBudget);
+    }
+
+    #[test]
+    fn watchdog_must_wait_for_deadline() {
+        let mut c = checker();
+        c.watchdog(BankId(0), Cycle(356), Cycle(100), 256);
+        assert_eq!(c.violation_count(), 0);
+        c.watchdog(BankId(0), Cycle(355), Cycle(100), 256);
+        assert_eq!(c.violation_count(), 1);
+        assert_eq!(c.violations()[0].kind, InvariantKind::EarlyWatchdog);
     }
 }

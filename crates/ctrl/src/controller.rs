@@ -16,11 +16,52 @@ use crate::queues::{DrainPolicy, DrainState, RequestQueue};
 use crate::request::{Completion, MemRequest, ReqId, ReqKind};
 use crate::stats::CtrlStats;
 use pcmap_device::PcmRank;
+use pcmap_ecc::line::LineCheck;
+use pcmap_faults::{ChipFault, FaultPlan};
 use pcmap_obs::{Event, EventKind, EventLog, EventSink};
-use pcmap_types::{BankId, ChipId, ChipSet, Cycle, Duration, MemOrg, QueueParams, TimingParams};
+use pcmap_types::{
+    BankId, ChipId, ChipSet, ColAddr, Cycle, Duration, MemOrg, QueueParams, RowAddr, TimingParams,
+};
 
 /// Latency of answering a read straight from the write queue.
 const FORWARD_LATENCY: Duration = Duration(2);
+
+/// A stuck-busy chip being monitored by the per-rank watchdog.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingWatchdog {
+    /// Bank of the hung operation.
+    pub bank: BankId,
+    /// The chip that hung busy.
+    pub chip: ChipId,
+    /// When the operation should have released the chip.
+    pub expected_end: Cycle,
+    /// When the watchdog may force-free the chip.
+    pub fire_at: Cycle,
+    /// The configured deadline (kept for the invariant checker).
+    pub deadline: u64,
+}
+
+/// Outcome of the functional-read + SECDED recovery pipeline
+/// ([`CtrlCore::resolve_read`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ReadResolution {
+    /// Extra latency spent on PCC reconstruction and bounded retries.
+    pub extra: Duration,
+    /// The read exhausted its retry budget and failed upward.
+    pub failed: bool,
+    /// The data was handed to the CPU before its deferred SECDED check;
+    /// the check will find it corrupt and force a rollback.
+    pub corrupted: bool,
+}
+
+impl ReadResolution {
+    /// A clean resolution: no extra latency, no failure, no corruption.
+    pub const CLEAN: Self = Self {
+        extra: Duration::ZERO,
+        failed: false,
+        corrupted: false,
+    };
+}
 
 /// A channel memory controller.
 ///
@@ -102,6 +143,12 @@ pub trait Controller: Send {
     /// rollback is only legal for a RoW read whose deferred SECDED
     /// check was outstanding.
     fn note_rollback(&mut self, at: Cycle, via_row: bool, had_deferred: bool);
+
+    /// Installs (or clears) this channel's deterministic fault plan.
+    /// With `None` (the default) every fault hook is inert and draws no
+    /// random numbers, so fault-free runs are byte-identical to builds
+    /// predating fault injection.
+    fn set_fault_plan(&mut self, plan: Option<FaultPlan>);
 }
 
 /// Shared controller state and issue helpers.
@@ -140,6 +187,11 @@ pub struct CtrlCore {
     /// Runtime protocol invariant checker (read-only w.r.t. the
     /// simulation; enabled in debug builds and under `PCMAP_CHECK`).
     pub checker: ProtocolChecker,
+    /// Deterministic fault injector for this channel (`None` ⇒ every
+    /// fault hook is inert and the fault-free path is untouched).
+    pub faults: Option<FaultPlan>,
+    /// Stuck-busy chips awaiting their watchdog deadline.
+    pub watchdogs: Vec<PendingWatchdog>,
 }
 
 impl CtrlCore {
@@ -162,6 +214,8 @@ impl CtrlCore {
             last_drain_exit: Cycle::ZERO,
             last_read_activity: None,
             checker,
+            faults: None,
+            watchdogs: Vec::new(),
         }
     }
 
@@ -244,6 +298,8 @@ impl CtrlCore {
                 via_row: false,
                 verify_done: None,
                 forwarded: true,
+                failed: false,
+                corrupted: false,
             }));
         }
         self.read_q.push(req)?;
@@ -384,15 +440,15 @@ impl CtrlCore {
         self.rank.timing_mut().reserve(bank, set, now, data_ready);
         self.rank.timing_mut().open_row(bank, set, req.loc.row);
 
-        // Functional read + SECDED check (free on a coarse read).
+        // Chip slow-down / stuck-busy faults extend occupancy past the
+        // nominal window (inert without a fault plan).
+        let data_ready = self.apply_chip_fault(bank, set, now, data_ready);
+
+        // Functional read + SECDED check (free on a coarse read) and, under
+        // fault injection, the correction/reconstruction/retry pipeline.
         self.rank.energy_mut().record_read(9 * 64); // 8 data words + ECC word
-        let out = self.rank.read_line(bank, req.loc.row, req.loc.col);
-        let codec = self.rank.storage().codec();
-        match codec.verify(&out.data, out.ecc) {
-            c if c.is_clean() => {}
-            pcmap_ecc::line::LineCheck::Corrected { .. } => self.stats.ecc_corrected += 1,
-            _ => self.stats.ecc_uncorrectable += 1,
-        }
+        let res = self.resolve_read(bank, req.loc.row, req.loc.col, now, false);
+        let data_ready = data_ready + res.extra;
 
         if self.read_was_delayed(bank, req.arrival, now) {
             self.stats.reads_delayed_by_write += 1;
@@ -436,6 +492,8 @@ impl CtrlCore {
             via_row: false,
             verify_done: None,
             forwarded: false,
+            failed: res.failed,
+            corrupted: false,
         }
     }
 
@@ -526,6 +584,11 @@ impl CtrlCore {
             .command(self.rank.timing(), bank, set, now, done, "baseline write");
         self.rank.timing_mut().reserve(bank, set, now, done);
 
+        // Fault hooks: this write may burn out a cell (stuck-at wear) or
+        // hit a slow / stuck-busy chip. Inert without a fault plan.
+        self.plant_wear_fault(bank, req.loc.row, req.loc.col, now);
+        let done = self.apply_chip_fault(bank, set, now, done);
+
         self.stats.irlp.open_window(bank, now, done);
         // Re-record the write's own segments into the fresh window: the
         // window must see them even though they were recorded above.
@@ -555,16 +618,21 @@ impl CtrlCore {
             via_row: false,
             verify_done: None,
             forwarded: false,
+            failed: false,
+            corrupted: false,
         }
     }
 
     /// Conservative wake estimate shared by controller variants: the
     /// earliest time any pending request's chips could free up, or the bus.
     pub fn next_wake_common(&self, now: Cycle) -> Option<Cycle> {
-        if self.read_q.is_empty() && self.write_q_len_total() == 0 {
+        if self.read_q.is_empty() && self.write_q_len_total() == 0 && self.watchdogs.is_empty() {
             return None;
         }
         let mut wake = Cycle::MAX;
+        for w in &self.watchdogs {
+            wake = Cycle(wake.0.min(w.fire_at.0));
+        }
         let coarse = Self::coarse_read_set();
         for req in self
             .read_q
@@ -578,6 +646,268 @@ impl CtrlCore {
             wake = Cycle(wake.0.min(self.bus.free_at().0));
         }
         Some(if wake <= now { Cycle(now.0 + 1) } else { wake })
+    }
+
+    /// Performs the functional read of `(bank, row, col)` and runs the
+    /// SECDED/recovery pipeline against it.
+    ///
+    /// Without a fault plan this is exactly the pre-fault behaviour: one
+    /// verify, correction/uncorrectable counters, no extra latency. With
+    /// a plan, transient flips are drawn onto the read-out copy (storage
+    /// stays ground truth), then:
+    ///
+    /// 1. clean or SECDED-corrected reads proceed (counted);
+    /// 2. uncorrectable reads with a single bad word are rebuilt from the
+    ///    other seven words plus the PCC parity word (erasure
+    ///    reconstruction, §III-C), costing one extra array read;
+    /// 3. anything else retries with exponential backoff until the retry
+    ///    budget is exhausted, then fails upward.
+    ///
+    /// With `deferred` (a RoW read whose SECDED check is outstanding) the
+    /// data has already been handed to the CPU, so a faulty read is
+    /// reported as `corrupted` — the deferred check will catch it and
+    /// force a rollback — instead of being retried.
+    pub fn resolve_read(
+        &mut self,
+        bank: BankId,
+        row: RowAddr,
+        col: ColAddr,
+        now: Cycle,
+        deferred: bool,
+    ) -> ReadResolution {
+        let stored = self.rank.read_line(bank, row, col);
+        let codec = self.rank.storage().codec();
+        let Some(plan) = self.faults.as_mut() else {
+            // Fault injection off: the original single check.
+            match codec.verify(&stored.data, stored.ecc) {
+                c if c.is_clean() => {}
+                LineCheck::Corrected { .. } => self.stats.ecc_corrected += 1,
+                _ => self.stats.ecc_uncorrectable += 1,
+            }
+            return ReadResolution::CLEAN;
+        };
+        let budget = plan.retry_budget();
+        let mut extra = Duration::ZERO;
+        let mut attempt: u32 = 0;
+        loop {
+            let mut data = stored.data;
+            let fault = plan.on_line_read();
+            if fault.is_fault() {
+                self.stats.faults_injected += 1;
+                if matches!(fault, pcmap_faults::ReadFault::DoubleBit { .. }) {
+                    self.stats.faults_double_bit += 1;
+                }
+                fault.apply(&mut data);
+            }
+            let check = codec.verify(&data, stored.ecc);
+            if deferred {
+                // The (possibly corrupt) words are already on their way to
+                // the CPU; only the deferred check can flag them.
+                if fault.is_fault() || !check.is_clean() {
+                    match check {
+                        LineCheck::Corrected { .. } => self.stats.ecc_corrected += 1,
+                        LineCheck::Uncorrectable { .. } => self.stats.ecc_uncorrectable += 1,
+                        LineCheck::Clean => {}
+                    }
+                    self.stats.corruption_rollbacks += 1;
+                    plan.record_fault(now);
+                    return ReadResolution {
+                        extra,
+                        failed: false,
+                        corrupted: true,
+                    };
+                }
+                return ReadResolution::CLEAN;
+            }
+            match check {
+                LineCheck::Clean => {
+                    return ReadResolution {
+                        extra,
+                        failed: false,
+                        corrupted: false,
+                    };
+                }
+                LineCheck::Corrected { .. } => {
+                    self.stats.ecc_corrected += 1;
+                    if fault.is_fault() {
+                        self.stats.faults_corrected += 1;
+                    }
+                    plan.record_fault(now);
+                    // Oracle: the corrected line must verify clean — a
+                    // miscorrection here would be a silent corruption.
+                    match check.recovered(&data) {
+                        Some(fixed) if codec.verify(&fixed, stored.ecc).is_clean() => {}
+                        _ => self.stats.silent_corruptions += 1,
+                    }
+                    return ReadResolution {
+                        extra,
+                        failed: false,
+                        corrupted: false,
+                    };
+                }
+                LineCheck::Uncorrectable { words } => {
+                    self.stats.ecc_uncorrectable += 1;
+                    plan.record_fault(now);
+                    if words.count() == 1 {
+                        // Erasure reconstruction: treat the bad word's chip
+                        // as erased and rebuild it from the PCC word. Costs
+                        // one extra array read (the PCC chip).
+                        let missing = words.iter().next().expect("count == 1");
+                        let rebuilt = codec.reconstruct(&data, missing, stored.pcc);
+                        if codec.verify(&rebuilt, stored.ecc).is_clean() {
+                            self.stats.faults_reconstructed += 1;
+                            extra += Duration(self.t.array_read);
+                            return ReadResolution {
+                                extra,
+                                failed: false,
+                                corrupted: false,
+                            };
+                        }
+                    }
+                    // Multi-word damage (or a stale PCC word): bounded
+                    // retry with exponential backoff, then fail upward.
+                    attempt += 1;
+                    if attempt > budget {
+                        self.stats.reads_failed += 1;
+                        return ReadResolution {
+                            extra,
+                            failed: true,
+                            corrupted: false,
+                        };
+                    }
+                    self.checker.retry(bank, now, attempt, budget);
+                    self.stats.fault_retries += 1;
+                    extra += Duration(plan.retry_delay(attempt - 1));
+                }
+            }
+        }
+    }
+
+    /// Draws the wear outcome for a completed line write: with a plan
+    /// installed, an unlucky write burns out one cell of the line, which
+    /// stays frozen at its current value from now on.
+    pub fn plant_wear_fault(&mut self, bank: BankId, row: RowAddr, col: ColAddr, now: Cycle) {
+        let Some(plan) = self.faults.as_mut() else {
+            return;
+        };
+        if let Some(bit) = plan.on_word_write() {
+            let word = plan.pick(pcmap_types::WORDS_PER_LINE as u64) as usize;
+            self.rank.storage_mut().stick_bit(bank, row, col, word, bit);
+            self.stats.faults_injected += 1;
+            self.stats.faults_stuck_cells += 1;
+            plan.record_fault(now);
+        }
+    }
+
+    /// Draws a chip fault for an array operation on `set` whose base
+    /// reservation `[start, expected_end)` has already been placed, and
+    /// applies its timing consequences:
+    ///
+    /// - `Slow` extends one victim chip's occupancy and delays the
+    ///   operation's data-ready time by the same amount;
+    /// - `StuckBusy` hangs the victim past its window; the per-rank
+    ///   watchdog force-frees it at `expected_end + deadline`.
+    ///
+    /// Returns the (possibly extended) data-ready time. Inert without a
+    /// fault plan; an extension that would collide with an existing
+    /// reservation is skipped rather than double-booking the chip.
+    pub fn apply_chip_fault(
+        &mut self,
+        bank: BankId,
+        set: ChipSet,
+        start: Cycle,
+        expected_end: Cycle,
+    ) -> Cycle {
+        let Some(plan) = self.faults.as_mut() else {
+            return expected_end;
+        };
+        let outcome = plan.on_chip_op();
+        if matches!(outcome, ChipFault::None) {
+            return expected_end;
+        }
+        let idx = plan.pick(set.count() as u64) as usize;
+        let victim = set.chips().nth(idx).expect("index below set count");
+        let mut vset = ChipSet::empty();
+        vset.insert_chip(victim);
+        match outcome {
+            ChipFault::None => expected_end,
+            ChipFault::Slow(extra_cycles) => {
+                let slow_end = expected_end + Duration(extra_cycles);
+                if !self
+                    .rank
+                    .timing()
+                    .set_free_during(bank, vset, expected_end, slow_end)
+                {
+                    return expected_end;
+                }
+                self.rank
+                    .timing_mut()
+                    .reserve(bank, vset, expected_end, slow_end);
+                self.stats.faults_injected += 1;
+                self.stats.faults_chip_slow += 1;
+                plan.record_fault(start);
+                slow_end
+            }
+            ChipFault::StuckBusy => {
+                let deadline = plan.watchdog_deadline();
+                let fire_at = expected_end + Duration(deadline);
+                // The hang would outlive even the watchdog if nothing
+                // tripped it; the force-free at `fire_at` truncates it.
+                let hang_end = fire_at + Duration(deadline.max(1));
+                if !self
+                    .rank
+                    .timing()
+                    .set_free_during(bank, vset, expected_end, hang_end)
+                {
+                    return expected_end;
+                }
+                self.rank
+                    .timing_mut()
+                    .reserve(bank, vset, expected_end, hang_end);
+                self.watchdogs.push(PendingWatchdog {
+                    bank,
+                    chip: victim,
+                    expected_end,
+                    fire_at,
+                    deadline,
+                });
+                self.stats.faults_injected += 1;
+                self.stats.faults_chip_stuck += 1;
+                plan.record_fault(start);
+                // The chip delivered its data before hanging — only its
+                // occupancy, not this operation's latency, is affected.
+                expected_end
+            }
+        }
+    }
+
+    /// Fires every due watchdog: checks the deadline invariant, force-frees
+    /// the hung chip, and counts the trip.
+    pub fn service_watchdogs(&mut self, now: Cycle) {
+        let mut i = 0;
+        while i < self.watchdogs.len() {
+            let w = self.watchdogs[i];
+            if w.fire_at <= now {
+                self.checker
+                    .watchdog(w.bank, w.fire_at, w.expected_end, w.deadline);
+                self.rank.timing_mut().force_free(w.bank, w.chip, w.fire_at);
+                self.stats.watchdog_trips += 1;
+                self.watchdogs.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Copies the fault plan's degradation counters into the statistics
+    /// (called once per `step` so snapshots stay current).
+    pub fn sync_fault_stats(&mut self, now: Cycle) {
+        if let Some(plan) = self.faults.as_ref() {
+            let d = plan.degrade();
+            self.stats.degraded_enters = d.enters();
+            self.stats.degraded_exits = d.exits();
+            self.stats.degraded_cycles = d.degraded_cycles(now);
+        }
     }
 }
 
@@ -612,6 +942,7 @@ impl Controller for BaselineController {
     fn step(&mut self, now: Cycle) -> Vec<Completion> {
         let mut out = Vec::new();
         let banks = self.core.org.banks;
+        self.core.service_watchdogs(now);
         loop {
             let mut issued = false;
             // Refresh per-bank drain states before scheduling.
@@ -642,6 +973,7 @@ impl Controller for BaselineController {
         }
         self.core.stats.irlp.settle(now);
         self.core.rank.timing_mut().prune(now);
+        self.core.sync_fault_stats(now);
         out
     }
 
@@ -703,6 +1035,10 @@ impl Controller for BaselineController {
         self.core
             .checker
             .rollback(BankId(0), at, via_row, had_deferred);
+    }
+
+    fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.core.faults = plan;
     }
 }
 

@@ -52,7 +52,7 @@ pub mod stats;
 
 pub use bus::{BusDir, ChannelBus};
 pub use check::{InvariantKind, ProtocolChecker, Violation};
-pub use controller::{BaselineController, Controller, CtrlCore};
+pub use controller::{BaselineController, Controller, CtrlCore, PendingWatchdog, ReadResolution};
 pub use irlp::{IrlpTracker, WindowId};
 pub use queues::{DrainPolicy, DrainState, RequestQueue};
 pub use request::{Completion, MemRequest, ReqId, ReqKind};

@@ -71,6 +71,12 @@ pub struct Completion {
     /// `true` if the read was forwarded from the write queue without
     /// touching PCM.
     pub forwarded: bool,
+    /// `true` if the request exhausted its recovery retry budget and is
+    /// reported as failed (the data in memory could not be recovered).
+    pub failed: bool,
+    /// `true` if the data handed to the CPU was later found corrupt by a
+    /// deferred SECDED check — the CPU must roll back and re-fetch.
+    pub corrupted: bool,
 }
 
 #[cfg(test)]

@@ -53,6 +53,41 @@ pub struct CtrlStats {
     pub ecc_corrected: u64,
     /// Reads whose SECDED check found an uncorrectable error.
     pub ecc_uncorrectable: u64,
+    /// Injected faults of any class (transient flips, stuck cells, chip
+    /// slow-downs, stuck-busy chips, Status-poll corruptions).
+    pub faults_injected: u64,
+    /// Transient double-bit flips injected (subset of `faults_injected`).
+    pub faults_double_bit: u64,
+    /// Wear-induced stuck-at cells planted in the backing store.
+    pub faults_stuck_cells: u64,
+    /// Chip operations that ran slow (extended array occupancy).
+    pub faults_chip_slow: u64,
+    /// Chip operations whose chip hung busy past its window.
+    pub faults_chip_stuck: u64,
+    /// Status polls whose response was corrupted (poll repeated).
+    pub faults_status_poll: u64,
+    /// Injected faults absorbed by inline SECDED correction.
+    pub faults_corrected: u64,
+    /// Uncorrectable reads recovered via PCC erasure reconstruction.
+    pub faults_reconstructed: u64,
+    /// Read retries taken on the bounded-retry recovery path.
+    pub fault_retries: u64,
+    /// Reads that exhausted the retry budget and failed upward.
+    pub reads_failed: u64,
+    /// Per-rank watchdog trips that force-freed a stuck-busy chip.
+    pub watchdog_trips: u64,
+    /// Transitions of this channel's rank into degraded scheduling.
+    pub degraded_enters: u64,
+    /// Transitions of this channel's rank back to full speculation.
+    pub degraded_exits: u64,
+    /// Total cycles this channel's rank spent degraded.
+    pub degraded_cycles: u64,
+    /// Deliveries whose data failed the post-recovery oracle check
+    /// without being flagged failed/corrupted. Must stay zero.
+    pub silent_corruptions: u64,
+    /// RoW reads whose deferred check found the delivered data corrupt,
+    /// forcing a CPU rollback.
+    pub corruption_rollbacks: u64,
     /// Essential-word histogram over issued writes (index = word count).
     pub essential_histogram: [u64; 9],
     /// IRLP accounting.
@@ -87,6 +122,22 @@ impl CtrlStats {
             row_blocked_pcc_busy: 0,
             ecc_corrected: 0,
             ecc_uncorrectable: 0,
+            faults_injected: 0,
+            faults_double_bit: 0,
+            faults_stuck_cells: 0,
+            faults_chip_slow: 0,
+            faults_chip_stuck: 0,
+            faults_status_poll: 0,
+            faults_corrected: 0,
+            faults_reconstructed: 0,
+            fault_retries: 0,
+            reads_failed: 0,
+            watchdog_trips: 0,
+            degraded_enters: 0,
+            degraded_exits: 0,
+            degraded_cycles: 0,
+            silent_corruptions: 0,
+            corruption_rollbacks: 0,
             essential_histogram: [0; 9],
             irlp: IrlpTracker::new(banks),
             read_latency_hist: LatencyHistogram::new(),
@@ -171,6 +222,22 @@ impl CtrlStats {
         s.set_counter("reads_deferred_only", self.reads_deferred_only);
         s.set_counter("ecc_corrected", self.ecc_corrected);
         s.set_counter("ecc_uncorrectable", self.ecc_uncorrectable);
+        s.set_counter("faults_injected", self.faults_injected);
+        s.set_counter("faults_double_bit", self.faults_double_bit);
+        s.set_counter("faults_stuck_cells", self.faults_stuck_cells);
+        s.set_counter("faults_chip_slow", self.faults_chip_slow);
+        s.set_counter("faults_chip_stuck", self.faults_chip_stuck);
+        s.set_counter("faults_status_poll", self.faults_status_poll);
+        s.set_counter("faults_corrected", self.faults_corrected);
+        s.set_counter("faults_reconstructed", self.faults_reconstructed);
+        s.set_counter("fault_retries", self.fault_retries);
+        s.set_counter("reads_failed", self.reads_failed);
+        s.set_counter("watchdog_trips", self.watchdog_trips);
+        s.set_counter("degraded_enters", self.degraded_enters);
+        s.set_counter("degraded_exits", self.degraded_exits);
+        s.set_counter("degraded_cycles", self.degraded_cycles);
+        s.set_counter("silent_corruptions", self.silent_corruptions);
+        s.set_counter("corruption_rollbacks", self.corruption_rollbacks);
         for (i, &n) in self.essential_histogram.iter().enumerate() {
             s.set_counter(&format!("essential_words_{i}"), n);
         }

@@ -172,6 +172,46 @@ fn wrong_status_poll_charge_is_rejected() {
 }
 
 #[test]
+fn speculation_on_degraded_rank_is_rejected() {
+    // DESIGN.md §11: a rank demoted by its fault rate must fall back to
+    // coarse scheduling — issuing RoW or WoW speculation against it is a
+    // protocol violation.
+    let mut c = collecting();
+    c.speculative_on_degraded(BankId(0), Cycle(10), true, "RoW reconstruction");
+    only_violation(&c, InvariantKind::RowOnDegraded);
+    // A healthy rank speculates freely.
+    c.speculative_on_degraded(BankId(0), Cycle(11), false, "WoW write");
+    assert_eq!(c.violation_count(), 1);
+}
+
+#[test]
+fn retry_beyond_budget_is_rejected() {
+    let mut c = collecting();
+    // Attempts 1..=3 stay inside a budget of 3.
+    for attempt in 1..=3 {
+        c.retry(BankId(0), Cycle(attempt as u64), attempt, 3);
+    }
+    assert_eq!(c.violation_count(), 0);
+    // A fourth retry means the controller ignored its own budget and
+    // never failed the request upward.
+    c.retry(BankId(0), Cycle(4), 4, 3);
+    only_violation(&c, InvariantKind::RetryOverBudget);
+}
+
+#[test]
+fn watchdog_firing_before_deadline_is_rejected() {
+    let mut c = collecting();
+    let expected_end = Cycle(500);
+    let deadline = 256;
+    // Exactly at the deadline is the earliest legal trip.
+    c.watchdog(BankId(0), Cycle(500 + 256), expected_end, deadline);
+    assert_eq!(c.violation_count(), 0);
+    // One cycle early: the chip might still legitimately finish.
+    c.watchdog(BankId(0), Cycle(500 + 255), expected_end, deadline);
+    only_violation(&c, InvariantKind::EarlyWatchdog);
+}
+
+#[test]
 #[should_panic(expected = "protocol invariant violated")]
 fn strict_checker_panics_at_the_violation_site() {
     let mut c = ProtocolChecker::strict(&params());

@@ -27,6 +27,11 @@ pub struct RankStorage {
     org: MemOrg,
     codec: LineCodec,
     lines: BTreeMap<u64, StoredLine>,
+    /// Wear-induced stuck-at cells: line key → `(word, bit, value)`.
+    /// Applied on every [`Self::store`], so writes to a worn cell
+    /// silently fail while the freshly computed ECC/PCC words still
+    /// describe the *intended* data.
+    stuck: BTreeMap<u64, Vec<(u8, u8, bool)>>,
     /// Seed mixed into default content so different ranks hold different
     /// pristine data.
     seed: u64,
@@ -45,6 +50,7 @@ impl RankStorage {
             org,
             codec: LineCodec::new(),
             lines: BTreeMap::new(),
+            stuck: BTreeMap::new(),
             seed,
         }
     }
@@ -74,9 +80,20 @@ impl RankStorage {
             .unwrap_or_else(|| self.pristine(key))
     }
 
-    /// Overwrites the line and its ECC/PCC words.
-    pub fn store(&mut self, bank: BankId, row: RowAddr, col: ColAddr, line: StoredLine) {
+    /// Overwrites the line and its ECC/PCC words. Stuck-at cells keep
+    /// their frozen value, so the stored data can disagree with the
+    /// line's own ECC word — exactly the failure SECDED exists to catch.
+    pub fn store(&mut self, bank: BankId, row: RowAddr, col: ColAddr, mut line: StoredLine) {
         let key = self.key(bank, row, col);
+        if let Some(cells) = self.stuck.get(&key) {
+            for &(word, bit, value) in cells {
+                let w = word as usize;
+                let mask = 1u64 << bit;
+                let cur = line.data.word(w);
+                let forced = if value { cur | mask } else { cur & !mask };
+                line.data.set_word(w, forced);
+            }
+        }
         self.lines.insert(key, line);
     }
 
@@ -105,6 +122,32 @@ impl RankStorage {
             .data
             .set_word(word, stored.data.word(word) ^ (1u64 << bit));
         self.store(bank, row, col, stored);
+    }
+
+    /// Freezes one data cell of the line at its *current* stored value —
+    /// the wear-out failure mode of PCM. Subsequent [`Self::store`]s to
+    /// this line silently lose writes to that cell. Idempotent per
+    /// (word, bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word >= 8` or `bit >= 64`.
+    pub fn stick_bit(&mut self, bank: BankId, row: RowAddr, col: ColAddr, word: usize, bit: u32) {
+        assert!(word < 8 && bit < 64, "word/bit out of range");
+        let value = self.load(bank, row, col).data.word(word) & (1u64 << bit) != 0;
+        let key = self.key(bank, row, col);
+        let cells = self.stuck.entry(key).or_default();
+        if !cells
+            .iter()
+            .any(|&(w, b, _)| (w as usize, b as u32) == (word, bit))
+        {
+            cells.push((word as u8, bit as u8, value));
+        }
+    }
+
+    /// Total stuck-at cells injected so far.
+    pub fn stuck_cells(&self) -> usize {
+        self.stuck.values().map(Vec::len).sum()
     }
 
     /// The codec used for ECC/PCC maintenance.
@@ -165,6 +208,42 @@ mod tests {
         s.store(b, r, c, line);
         assert_eq!(s.load(b, r, c), line);
         assert_eq!(s.touched_lines(), 1);
+    }
+
+    #[test]
+    fn stuck_bit_makes_later_writes_silently_fail() {
+        let mut s = RankStorage::new(MemOrg::tiny());
+        let (b, r, c) = coords();
+        let before = s.load(b, r, c);
+        let was_set = before.data.word(2) & (1 << 9) != 0;
+        s.stick_bit(b, r, c, 2, 9);
+        assert_eq!(s.stuck_cells(), 1);
+        // Sticking alone changes nothing — the cell holds its value.
+        assert_eq!(s.load(b, r, c), before);
+
+        // A write that tries to flip the stuck cell loses that bit…
+        let mut intended = before;
+        intended.data.set_word(2, before.data.word(2) ^ (1 << 9));
+        intended.ecc = s.codec().ecc_word(&intended.data);
+        intended.pcc = s.codec().pcc_word(&intended.data);
+        s.store(b, r, c, intended);
+        let after = s.load(b, r, c);
+        assert_eq!(after.data.word(2) & (1 << 9) != 0, was_set);
+        // …so the stored data disagrees with its own (intended) ECC, and
+        // SECDED recovers the intended value.
+        let check = s.codec().verify(&after.data, after.ecc);
+        assert!(!check.is_clean());
+        assert_eq!(check.recovered(&after.data), Some(intended.data));
+    }
+
+    #[test]
+    fn stick_bit_is_idempotent() {
+        let mut s = RankStorage::new(MemOrg::tiny());
+        let (b, r, c) = coords();
+        s.stick_bit(b, r, c, 0, 0);
+        s.stick_bit(b, r, c, 0, 0);
+        s.stick_bit(b, r, c, 0, 1);
+        assert_eq!(s.stuck_cells(), 2);
     }
 
     #[test]

@@ -71,6 +71,21 @@ impl ChipBankState {
     fn prune(&mut self, now: Cycle) {
         self.res.retain(|&(_, e)| e > now);
     }
+
+    /// Cancels all occupancy at or after `from`: future reservations are
+    /// dropped and an active one is truncated to end at `from`. The
+    /// rank watchdog uses this to free a stuck-busy chip.
+    fn release_from(&mut self, from: Cycle) {
+        self.res.retain_mut(|(s, e)| {
+            if *s >= from {
+                return false;
+            }
+            if *e > from {
+                *e = from;
+            }
+            *e > *s
+        });
+    }
 }
 
 /// Occupancy and row state for every (bank, chip) pair of a rank.
@@ -186,6 +201,13 @@ impl RankTiming {
             }
         }
         need
+    }
+
+    /// Force-frees `chip` on `bank` from `from` onward — the watchdog
+    /// action for a stuck-busy chip: its hung reservation is cut short
+    /// and anything it had queued later is cancelled.
+    pub fn force_free(&mut self, bank: BankId, chip: ChipId, from: Cycle) {
+        self.chip_mut(bank, chip).release_from(from);
     }
 
     /// The earliest reservation boundary strictly after `now` across the
@@ -320,6 +342,29 @@ mod tests {
         assert_eq!(need.count(), 9);
         assert!(!need.contains(2));
         assert_eq!(t.chips_needing_activate(BankId(0), all, RowAddr(8)), all);
+    }
+
+    #[test]
+    fn force_free_truncates_and_cancels() {
+        let mut t = timing();
+        let chip = ChipId(5);
+        t.reserve(BankId(0), ChipSet::single(5), Cycle(10), Cycle(100));
+        t.reserve(BankId(0), ChipSet::single(5), Cycle(120), Cycle(150));
+        t.force_free(BankId(0), chip, Cycle(40));
+        // Active window cut short at the watchdog fire time…
+        assert!(!t.is_free(BankId(0), chip, Cycle(39)));
+        assert!(t.is_free(BankId(0), chip, Cycle(40)));
+        // …and the queued future window is cancelled outright.
+        assert!(t.is_free(BankId(0), chip, Cycle(130)));
+        assert_eq!(t.chip(BankId(0), chip).clear_from(Cycle(0)), Cycle(40));
+    }
+
+    #[test]
+    fn force_free_before_start_erases_whole_window() {
+        let mut t = timing();
+        t.reserve(BankId(1), ChipSet::single(2), Cycle(50), Cycle(90));
+        t.force_free(BankId(1), ChipId(2), Cycle(50));
+        assert_eq!(t.next_boundary(Cycle(0)), None);
     }
 
     #[test]

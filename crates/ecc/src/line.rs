@@ -205,6 +205,56 @@ mod tests {
     }
 
     #[test]
+    fn reconstruction_under_second_concurrent_error_is_uncorrectable() {
+        // RoW reconstructs a busy chip's word from the seven present words
+        // plus the PCC chip. If a *second* error corrupts one of the
+        // present words at the same time, the XOR parity folds that
+        // corruption into the rebuilt word too — the result is wrong in
+        // two words and SECDED must refuse it, never verify it clean.
+        let codec = LineCodec::new();
+        let line = CacheLine::from_seed(16);
+        let ecc = codec.ecc_word(&line);
+        let pcc = codec.pcc_word(&line);
+        let mut partial = line;
+        partial.set_word(2, partial.word(2) ^ 0b101); // double-bit transient
+        partial.set_word(5, 0); // busy chip: word unavailable
+        let rebuilt = codec.reconstruct(&partial, 5, pcc);
+        // The parity mixes word 2's flips into the reconstruction.
+        assert_eq!(rebuilt.word(5), line.word(5) ^ 0b101);
+        match codec.verify(&rebuilt, ecc) {
+            LineCheck::Uncorrectable { words } => {
+                assert!(words.contains(2), "the transient victim is flagged");
+                assert!(words.contains(5), "the poisoned reconstruction too");
+            }
+            other => panic!("second concurrent error must be refused: {other:?}"),
+        }
+        assert_eq!(codec.verify(&rebuilt, ecc).recovered(&rebuilt), None);
+    }
+
+    #[test]
+    fn reconstruction_under_single_concurrent_flip_still_recovers() {
+        // A *single*-bit concurrent error stays within SECDED's per-word
+        // correction power: both the victim word and the poisoned
+        // reconstruction carry one flipped bit each, and verify corrects
+        // the line back to the stored truth.
+        let codec = LineCodec::new();
+        let line = CacheLine::from_seed(17);
+        let ecc = codec.ecc_word(&line);
+        let pcc = codec.pcc_word(&line);
+        let mut partial = line;
+        partial.set_word(1, partial.word(1) ^ (1 << 40));
+        partial.set_word(6, 0);
+        let rebuilt = codec.reconstruct(&partial, 6, pcc);
+        match codec.verify(&rebuilt, ecc) {
+            LineCheck::Corrected { line: fixed, words } => {
+                assert_eq!(fixed, line);
+                assert_eq!(words.count(), 2);
+            }
+            other => panic!("single concurrent flip must correct: {other:?}"),
+        }
+    }
+
+    #[test]
     fn reconstruct_restores_missing_word() {
         let codec = LineCodec::new();
         let line = CacheLine::from_seed(15);

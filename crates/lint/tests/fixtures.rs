@@ -59,6 +59,28 @@ fn float_accumulation_fixture_triggers() {
 }
 
 #[test]
+fn fault_injection_fixture_triggers_every_determinism_rule() {
+    // `crates/faults` auto-scopes SimFacing, so a fault injector drawing
+    // on OS entropy, the wall clock, or unordered maps is caught by the
+    // same rules that guard the schedulers.
+    let src = include_str!("fixtures/fault_injection.rs.fixture");
+    let diags = lint_fixture("fault_injection.rs", src);
+    assert_eq!(lines_for(&diags, Rule::HashCollections), vec![4, 7]);
+    assert_eq!(lines_for(&diags, Rule::WallClock), vec![8, 9]);
+    assert_eq!(lines_for(&diags, Rule::AsNarrowing), vec![10]);
+    assert_eq!(diags.len(), 5, "{diags:?}");
+}
+
+#[test]
+fn faults_crate_is_sim_facing() {
+    use std::path::Path;
+    assert_eq!(
+        pcmap_lint::scope_for(Path::new("crates/faults/src/lib.rs")),
+        CrateScope::SimFacing
+    );
+}
+
+#[test]
 fn bad_suppression_fixture_triggers() {
     let src = include_str!("fixtures/bad_suppression.rs.fixture");
     let diags = lint_fixture("bad_suppression.rs", src);

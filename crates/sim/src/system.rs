@@ -5,13 +5,14 @@ use pcmap_cpu::core_model::{cpu_to_mem, mem_to_cpu, CoreAction, CoreModel};
 use pcmap_cpu::{RollbackModel, WorkOp};
 use pcmap_ctrl::stats::SERIES_WINDOW;
 use pcmap_ctrl::{Completion, Controller, LatencyHistogram, MemRequest, ReqId, ReqKind};
+use pcmap_faults::FaultPlan;
 use pcmap_obs::{
     CounterId, Event, EventKind, EventLog, EventSink, MetricRegistry, MetricsSnapshot,
     StallBreakdown, Value, WindowedSeries, NO_REQ,
 };
 use pcmap_par::Pool;
 use pcmap_types::{
-    BankId, CoreId, CpuParams, Cycle, MemOrg, QueueParams, TimingParams, Xoshiro256,
+    BankId, CoreId, CpuParams, Cycle, FaultConfig, MemOrg, QueueParams, TimingParams, Xoshiro256,
 };
 use pcmap_workloads::{CoreStream, StreamOp, Workload};
 use std::cmp::Reverse;
@@ -34,6 +35,10 @@ pub struct SimConfig {
     pub rollback: RollbackMode,
     /// Master seed (streams, data fabrication, pristine memory contents).
     pub seed: u64,
+    /// Fault-injection configuration (disabled by default; a disabled
+    /// config installs no [`FaultPlan`], so every fault hook is inert and
+    /// the run is byte-identical to a build without the fault subsystem).
+    pub faults: FaultConfig,
     /// Total memory requests to inject across all cores.
     pub max_requests: u64,
     /// Hard safety cap on simulated memory cycles.
@@ -52,6 +57,7 @@ impl SimConfig {
             cpu: CpuParams::paper_default(),
             rollback: RollbackMode::NeverFaulty,
             seed: 0xC0FFEE,
+            faults: FaultConfig::disabled(),
             max_requests: 24_000,
             max_mem_cycles: 200_000_000,
         }
@@ -78,6 +84,12 @@ impl SimConfig {
     /// Sets the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Installs a fault-injection configuration (see DESIGN.md §11).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -151,6 +163,31 @@ pub struct RunReport {
     /// Protocol-invariant violations observed (always 0 on a healthy run;
     /// strict mode panics at the violation site instead of counting).
     pub invariant_violations: u64,
+    /// Faults injected across all classes (0 on fault-free runs).
+    pub faults_injected: u64,
+    /// Injected transient flips corrected in place by SECDED.
+    pub faults_corrected: u64,
+    /// Uncorrectable reads recovered by PCC erasure reconstruction.
+    pub faults_reconstructed: u64,
+    /// Recovery retries issued for uncorrectable reads (backoff included).
+    pub fault_retries: u64,
+    /// Reads that exhausted the retry budget and failed upward.
+    pub reads_failed: u64,
+    /// Stuck-busy chips freed by the per-rank watchdog.
+    pub watchdog_trips: u64,
+    /// Rank demotions from RoW/WoW speculation to coarse scheduling.
+    pub degraded_enters: u64,
+    /// Rank re-promotions after a clean window.
+    pub degraded_exits: u64,
+    /// Memory cycles ranks spent degraded, summed over channels.
+    pub degraded_cycles: u64,
+    /// Deliveries whose data disagreed with the storage oracle without
+    /// being flagged — always 0 on a correct recovery path (the soak
+    /// harness asserts this).
+    pub silent_corruptions: u64,
+    /// CPU rollbacks forced by late-detected corruption on deferred-verify
+    /// reads.
+    pub corruption_rollbacks: u64,
     /// Dynamic PCM energy (reads sensed + bits programmed), nanojoules.
     pub energy_dynamic_nj: f64,
     /// Total PCM energy including background power over the run, nJ.
@@ -258,6 +295,22 @@ impl RunReport {
             "invariant_violations",
             Value::U64(self.invariant_violations),
         );
+        let mut faults = Value::obj();
+        faults.set("injected", Value::U64(self.faults_injected));
+        faults.set("corrected", Value::U64(self.faults_corrected));
+        faults.set("reconstructed", Value::U64(self.faults_reconstructed));
+        faults.set("retries", Value::U64(self.fault_retries));
+        faults.set("reads_failed", Value::U64(self.reads_failed));
+        faults.set("watchdog_trips", Value::U64(self.watchdog_trips));
+        faults.set("degraded_enters", Value::U64(self.degraded_enters));
+        faults.set("degraded_exits", Value::U64(self.degraded_exits));
+        faults.set("degraded_cycles", Value::U64(self.degraded_cycles));
+        faults.set("silent_corruptions", Value::U64(self.silent_corruptions));
+        faults.set(
+            "corruption_rollbacks",
+            Value::U64(self.corruption_rollbacks),
+        );
+        v.set("faults", faults);
         v.set("energy_dynamic_nj", Value::F64(self.energy_dynamic_nj));
         v.set("energy_total_nj", Value::F64(self.energy_total_nj));
         v.set("read_latency", self.read_latency_hist.to_json());
@@ -281,6 +334,11 @@ struct Delivery {
     is_read: bool,
     via_row: bool,
     verify_done: Option<Cycle>,
+    /// The request exhausted its recovery retries and failed upward.
+    failed: bool,
+    /// A deferred SECDED check found the delivered data corrupt; the CPU
+    /// must squash and re-fetch.
+    corrupted: bool,
     /// Originating channel (rollback attribution; not part of the ordering
     /// key, which must stay exactly (when, core, is_read) so delivery order
     /// — and with it every golden byte — is unchanged).
@@ -323,6 +381,7 @@ pub struct System {
     m_requests: CounterId,
     m_retries: CounterId,
     m_rollbacks: CounterId,
+    m_failed: CounterId,
     /// System-level lifecycle events (rollbacks; controller-agnostic, so
     /// `bank`/`req` carry placeholder values). Off unless tracing is on.
     events: EventLog,
@@ -345,7 +404,8 @@ impl System {
             cfg.cpu.cores as usize,
             "workload must supply one profile per core"
         );
-        let ctrls = (0..cfg.org.channels)
+        cfg.faults.validate().expect("valid fault config");
+        let mut ctrls: Vec<Box<dyn Controller>> = (0..cfg.org.channels)
             .map(|ch| {
                 build_controller(
                     cfg.kind,
@@ -356,6 +416,11 @@ impl System {
                 )
             })
             .collect();
+        // A disabled config yields `None` plans, leaving every fault hook
+        // on the controllers' fault-free fast path.
+        for (ch, ctrl) in ctrls.iter_mut().enumerate() {
+            ctrl.set_fault_plan(FaultPlan::new(cfg.faults, ch as u64));
+        }
         let cores: Vec<CoreModel> = (0..cfg.cpu.cores)
             .map(|i| CoreModel::new(CoreId(i), &cfg.cpu))
             .collect();
@@ -385,6 +450,7 @@ impl System {
         let m_requests = registry.counter("requests_issued");
         let m_retries = registry.counter("enqueue_retries");
         let m_rollbacks = registry.counter("rollbacks_charged");
+        let m_failed = registry.counter("reads_failed_delivered");
         Self {
             cfg,
             workload_name: workload.name,
@@ -404,6 +470,7 @@ impl System {
             m_requests,
             m_retries,
             m_rollbacks,
+            m_failed,
             events: EventLog::disabled(),
         }
     }
@@ -565,6 +632,28 @@ impl System {
         let cpu_when = mem_to_cpu(d.when, &self.cfg.cpu);
         self.cores[d.core].read_returned(cpu_when);
         self.awaiting_delivery[d.core] = false;
+        if d.failed {
+            self.registry.add(self.m_failed, 1);
+        }
+        if d.corrupted {
+            // The deferred check proved the consumed line bad: squash
+            // unconditionally (no consumed-before-check coin flip) at the
+            // check's completion time. Replaces the probabilistic RoW
+            // accounting below for this delivery — one squash per read.
+            let vd = d.verify_done.unwrap_or(d.when);
+            let (at, penalty) = self.rollback[d.core].on_corruption(vd);
+            let cpu_at = mem_to_cpu(at, &self.cfg.cpu);
+            self.cores[d.core].rollback(cpu_at, penalty);
+            self.ctrls[d.chan].note_rollback(at, d.via_row, d.verify_done.is_some());
+            self.registry.add(self.m_rollbacks, 1);
+            self.events.record(Event {
+                at,
+                req: NO_REQ,
+                bank: BankId(0),
+                kind: EventKind::Rollback,
+            });
+            return;
+        }
         if d.via_row {
             if let Some(vd) = d.verify_done {
                 if let Some((at, penalty)) = self.rollback[d.core].on_row_read(vd) {
@@ -590,6 +679,8 @@ impl System {
             is_read: comp.is_read,
             via_row: comp.via_row,
             verify_done: comp.verify_done,
+            failed: comp.failed,
+            corrupted: comp.corrupted,
             chan,
         }));
     }
@@ -879,6 +970,17 @@ impl System {
             drains: merged.counter("drains_started"),
             ecc_corrected: merged.counter("ecc_corrected"),
             ecc_uncorrectable: merged.counter("ecc_uncorrectable"),
+            faults_injected: merged.counter("faults_injected"),
+            faults_corrected: merged.counter("faults_corrected"),
+            faults_reconstructed: merged.counter("faults_reconstructed"),
+            fault_retries: merged.counter("fault_retries"),
+            reads_failed: merged.counter("reads_failed"),
+            watchdog_trips: merged.counter("watchdog_trips"),
+            degraded_enters: merged.counter("degraded_enters"),
+            degraded_exits: merged.counter("degraded_exits"),
+            degraded_cycles: merged.counter("degraded_cycles"),
+            silent_corruptions: merged.counter("silent_corruptions"),
+            corruption_rollbacks: merged.counter("corruption_rollbacks"),
             energy_dynamic_nj: energy.dynamic_nj(&pcmap_device::EnergyParams::default()),
             energy_total_nj: energy.total_nj(
                 &pcmap_device::EnergyParams::default(),
@@ -1034,6 +1136,71 @@ mod tests {
                 assert!(r.invariants_checked > 0, "{kind:?} checker never ran");
             }
         }
+    }
+
+    fn storm_run(kind: SystemKind, rate: f64, requests: u64) -> RunReport {
+        let wl = catalog::by_name("canneal").unwrap();
+        let cfg = SimConfig::paper_default(kind)
+            .with_requests(requests)
+            .with_faults(FaultConfig::storm(rate, 0xBAD5EED));
+        System::new(cfg, wl).run()
+    }
+
+    #[test]
+    fn fault_storm_recovers_every_error_visibly() {
+        let r = storm_run(SystemKind::RwowRde, 0.05, 1200);
+        assert!(r.faults_injected > 0, "storm must inject faults");
+        assert_eq!(r.silent_corruptions, 0, "no silent corruption, ever");
+        assert_eq!(r.invariant_violations, 0, "{r:?}");
+        // Every uncorrectable error must surface through a visible path:
+        // correction, reconstruction, retry, failure, or rollback.
+        let visible = r.faults_corrected
+            + r.faults_reconstructed
+            + r.fault_retries
+            + r.reads_failed
+            + r.corruption_rollbacks;
+        assert!(visible > 0, "injected faults left no visible trace: {r:?}");
+        // Requests still complete under the storm.
+        assert!(r.reads_completed + r.writes_completed >= 1100, "{r:?}");
+    }
+
+    #[test]
+    fn fault_storm_is_deterministic() {
+        let a = storm_run(SystemKind::RwowRde, 0.03, 800);
+        let b = storm_run(SystemKind::RwowRde, 0.03, 800);
+        assert_eq!(a.mem_cycles, b.mem_cycles);
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.fault_retries, b.fault_retries);
+        assert_eq!(a.corruption_rollbacks, b.corruption_rollbacks);
+        assert_eq!(a.rollbacks, b.rollbacks);
+        assert_eq!(
+            a.to_json().to_json_string(),
+            b.to_json().to_json_string(),
+            "fault runs must be byte-reproducible"
+        );
+    }
+
+    #[test]
+    fn disabled_faults_leave_runs_byte_identical() {
+        let wl = catalog::by_name("streamcluster").unwrap();
+        let base = SimConfig::paper_default(SystemKind::RwowRde).with_requests(600);
+        let off = System::new(base.clone(), wl.clone()).run();
+        let zero = System::new(base.with_faults(FaultConfig::disabled()), wl).run();
+        assert_eq!(
+            off.to_json().to_json_string(),
+            zero.to_json().to_json_string()
+        );
+        assert_eq!(off.faults_injected, 0);
+        assert_eq!(off.corruption_rollbacks, 0);
+    }
+
+    #[test]
+    fn baseline_survives_fault_storm() {
+        let r = storm_run(SystemKind::Baseline, 0.05, 800);
+        assert_eq!(r.silent_corruptions, 0);
+        assert_eq!(r.invariant_violations, 0);
+        assert!(r.faults_injected > 0);
+        assert!(r.reads_completed + r.writes_completed >= 700, "{r:?}");
     }
 
     #[test]

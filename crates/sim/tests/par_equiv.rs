@@ -119,3 +119,24 @@ fn sweep_runner_json_is_byte_identical_and_input_ordered() {
         .collect();
     assert_eq!(serial, par);
 }
+
+/// Fault injection must not weaken the contract: each channel's
+/// `FaultPlan` is channel-private state stepped in the same order by both
+/// engines, so a seeded fault storm must stay byte-identical across
+/// worker counts — recovery retries, watchdog trips, degradation windows,
+/// corruption rollbacks and all.
+#[test]
+fn fault_storm_json_is_byte_identical_across_engines() {
+    use pcmap_types::FaultConfig;
+    for kind in [SystemKind::Baseline, SystemKind::RwowRde] {
+        let c = cfg(kind, 1000).with_faults(FaultConfig::storm(0.04, 0xFEED));
+        let serial = serial_json(&c, "canneal");
+        for jobs in [2usize, 4] {
+            assert_eq!(
+                serial,
+                parallel_json(&c, "canneal", jobs),
+                "faulty run diverged for {kind:?} at jobs = {jobs}"
+            );
+        }
+    }
+}

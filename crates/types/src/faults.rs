@@ -1,0 +1,221 @@
+//! Fault-injection configuration (DESIGN.md §11).
+//!
+//! The simulator's speculative machinery — RoW reads reconstructed from
+//! the PCC chip, deferred SECDED verification, CPU rollback — is an
+//! error-*recovery* protocol, but by default it only ever sees the happy
+//! path. [`FaultConfig`] parameterizes a deterministic, seed-driven fault
+//! layer (`pcmap-faults`) that exercises it: transient bit flips on chip
+//! reads, wear-induced stuck-at cells, chip slow-down / stuck-busy
+//! windows, and Status-register poll corruption.
+//!
+//! The all-zero [`Default`] disables every fault class, and every hook in
+//! the stack is inert when faults are disabled, so the byte-identical
+//! serial/parallel contract (DESIGN.md §9) and the golden figures are
+//! untouched unless a fault rate is explicitly requested.
+
+use crate::error::{ConfigError, Result};
+
+/// Knobs for the deterministic fault injector and its recovery budget.
+///
+/// All probabilities are per-event (per line read, per word write, per
+/// chip occupancy, per Status poll) and are drawn from a dedicated
+/// seeded stream, never from OS entropy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a line read suffers a transient bit flip.
+    pub rate: f64,
+    /// Seed for the fault stream (mixed per channel, independent of the
+    /// scheduler/workload seeds).
+    pub seed: u64,
+    /// Of the transient flips, the fraction that are *double*-bit
+    /// (SECDED-uncorrectable) rather than single-bit.
+    pub double_bit_fraction: f64,
+    /// Probability that a word write wears out one cell, leaving it
+    /// stuck at its current value.
+    pub stuck_cell_rate: f64,
+    /// Probability that a chip array operation runs slow.
+    pub chip_slow_rate: f64,
+    /// Extra memory cycles a slow chip operation takes.
+    pub chip_slow_extra: u64,
+    /// Probability that a chip array operation hangs busy until the
+    /// watchdog clears it.
+    pub chip_stuck_rate: f64,
+    /// Probability that an overlapped-issue Status poll is corrupted and
+    /// must be repeated (doubling its bus cost).
+    pub status_corrupt_rate: f64,
+    /// Uncorrectable reads are retried at most this many times before
+    /// the request is failed upward.
+    pub retry_budget: u32,
+    /// Base delay of the exponential retry backoff, in memory cycles
+    /// (attempt `k` waits `retry_backoff << k`).
+    pub retry_backoff: u64,
+    /// Memory cycles past a chip operation's expected end before the
+    /// per-rank watchdog force-frees the chip.
+    pub watchdog_deadline: u64,
+    /// Observed faults within [`Self::degrade_window`] that demote a
+    /// rank from RoW/WoW speculation to coarse scheduling.
+    pub degrade_threshold: u32,
+    /// Sliding window, in memory cycles, over which faults are counted
+    /// toward [`Self::degrade_threshold`].
+    pub degrade_window: u64,
+    /// Fault-free memory cycles after which a degraded rank is
+    /// re-promoted to speculative scheduling.
+    pub clean_window: u64,
+}
+
+impl FaultConfig {
+    /// The disabled configuration: no fault class fires and every hook
+    /// in the stack stays inert.
+    pub fn disabled() -> Self {
+        Self {
+            rate: 0.0,
+            seed: 0,
+            double_bit_fraction: 0.0,
+            stuck_cell_rate: 0.0,
+            chip_slow_rate: 0.0,
+            chip_slow_extra: 0,
+            chip_stuck_rate: 0.0,
+            status_corrupt_rate: 0.0,
+            retry_budget: 0,
+            retry_backoff: 0,
+            watchdog_deadline: 0,
+            degrade_threshold: 0,
+            degrade_window: 0,
+            clean_window: 0,
+        }
+    }
+
+    /// A storm profile scaled by a single headline `rate`, used by the
+    /// `fault_sweep` bench and the `xtask soak` gate: transient flips at
+    /// `rate` (30 % of them double-bit), wear/chip/Status faults at a
+    /// fraction of it, and paper-plausible recovery budgets.
+    pub fn storm(rate: f64, seed: u64) -> Self {
+        Self {
+            rate,
+            seed,
+            double_bit_fraction: 0.30,
+            stuck_cell_rate: rate / 8.0,
+            chip_slow_rate: rate / 4.0,
+            chip_slow_extra: 24,
+            chip_stuck_rate: rate / 16.0,
+            status_corrupt_rate: rate / 2.0,
+            retry_budget: 3,
+            retry_backoff: 8,
+            watchdog_deadline: 256,
+            degrade_threshold: 8,
+            degrade_window: 4_096,
+            clean_window: 8_192,
+        }
+    }
+
+    /// Whether any fault class can fire.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.rate > 0.0
+            || self.stuck_cell_rate > 0.0
+            || self.chip_slow_rate > 0.0
+            || self.chip_stuck_rate > 0.0
+            || self.status_corrupt_rate > 0.0
+    }
+
+    /// Validates probabilities and recovery budgets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any probability is outside `[0, 1]`,
+    /// or if a fault class is enabled without the recovery machinery it
+    /// needs (retry budget for uncorrectable reads, watchdog deadline
+    /// for stuck chips, degrade windows for the threshold).
+    pub fn validate(&self) -> Result<()> {
+        let probs = [
+            self.rate,
+            self.double_bit_fraction,
+            self.stuck_cell_rate,
+            self.chip_slow_rate,
+            self.chip_stuck_rate,
+            self.status_corrupt_rate,
+        ];
+        if probs.iter().any(|p| !(0.0..=1.0).contains(p)) {
+            return Err(ConfigError::new(
+                "fault probabilities must lie within [0, 1]",
+            ));
+        }
+        if !self.enabled() {
+            return Ok(());
+        }
+        if self.rate > 0.0 && self.double_bit_fraction > 0.0 && self.retry_budget == 0 {
+            return Err(ConfigError::new(
+                "double-bit faults require a positive retry budget",
+            ));
+        }
+        if self.chip_stuck_rate > 0.0 && self.watchdog_deadline == 0 {
+            return Err(ConfigError::new(
+                "stuck-busy chips require a positive watchdog deadline",
+            ));
+        }
+        if self.degrade_threshold > 0 && (self.degrade_window == 0 || self.clean_window == 0) {
+            return Err(ConfigError::new(
+                "degradation threshold requires positive degrade/clean windows",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled_and_valid() {
+        let f = FaultConfig::default();
+        assert!(!f.enabled());
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn storm_is_enabled_and_valid() {
+        let f = FaultConfig::storm(1e-3, 7);
+        assert!(f.enabled());
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_rate_storm_is_still_disabled_for_transients() {
+        // storm(0) keeps the recovery budgets but fires nothing.
+        let f = FaultConfig::storm(0.0, 7);
+        assert!(!f.enabled());
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_probability_rejected() {
+        let mut f = FaultConfig::storm(1e-3, 7);
+        f.double_bit_fraction = 1.5;
+        assert!(f.validate().is_err());
+        let mut g = FaultConfig::storm(1e-3, 7);
+        g.rate = -0.1;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn missing_recovery_budget_rejected() {
+        let mut f = FaultConfig::storm(1e-3, 7);
+        f.retry_budget = 0;
+        assert!(f.validate().is_err());
+
+        let mut g = FaultConfig::storm(1e-3, 7);
+        g.watchdog_deadline = 0;
+        assert!(g.validate().is_err());
+
+        let mut h = FaultConfig::storm(1e-3, 7);
+        h.degrade_window = 0;
+        assert!(h.validate().is_err());
+    }
+}

@@ -33,6 +33,7 @@
 pub mod addr;
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod ids;
 pub mod line;
 pub mod rng;
@@ -42,6 +43,7 @@ pub mod time;
 pub use addr::{LineAddr, MemLocation, PhysAddr};
 pub use config::{CpuParams, MemOrg, QueueParams, TimingParams};
 pub use error::{ConfigError, Result};
+pub use faults::FaultConfig;
 pub use ids::{BankId, ChannelId, ChipId, ColAddr, CoreId, RankId, RowAddr, WordIdx};
 pub use line::{CacheLine, LINE_BYTES, WORDS_PER_LINE, WORD_BYTES};
 pub use rng::{SplitMix64, Xoshiro256};

@@ -2,12 +2,13 @@
 //! workspace binary that shells out to cargo).
 //!
 //! ```text
-//! cargo xtask ci       # fmt --check, lint, clippy -D warnings, test, check, pardiff
+//! cargo xtask ci       # fmt --check, lint, clippy -D warnings, test, check, pardiff, soak
 //! cargo xtask fmt      # rustfmt the whole tree
 //! cargo xtask lint     # pcmap-lint determinism/hygiene pass -> results/lint.json
 //! cargo xtask clippy   # clippy -D warnings only
 //! cargo xtask check    # PCMAP_CHECK=1 release experiment runs (protocol invariants)
 //! cargo xtask pardiff  # serial vs parallel JSON byte-diff gate
+//! cargo xtask soak     # seeded fault-storm recovery gate -> results/soak.json
 //! ```
 
 use std::env;
@@ -175,6 +176,31 @@ fn pardiff() -> Result<(), String> {
     Ok(())
 }
 
+/// The fault-storm soak gate (DESIGN.md §11): a seeded storm sweep with
+/// the protocol checker strict, asserting zero silent corruptions, zero
+/// invariant violations, every injected fault visibly accounted for, and
+/// at least one sweep point entering *and* exiting degraded mode. The
+/// verdict lands in `results/soak.json`.
+fn soak() -> Result<(), String> {
+    step_env(
+        "soak",
+        &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "pcmap-bench",
+            "--bin",
+            "fault_sweep",
+            "--",
+            "--requests",
+            "3000",
+            "--soak",
+        ],
+        &[("PCMAP_CHECK", "1")],
+    )
+}
+
 fn main() -> ExitCode {
     let task = env::args().nth(1).unwrap_or_default();
     let result = match task.as_str() {
@@ -183,15 +209,17 @@ fn main() -> ExitCode {
             .and_then(|()| clippy())
             .and_then(|()| test())
             .and_then(|()| check())
-            .and_then(|()| pardiff()),
+            .and_then(|()| pardiff())
+            .and_then(|()| soak()),
         "fmt" => step("fmt", &["fmt", "--all"]),
         "lint" => lint(),
         "clippy" => clippy(),
         "test" => test(),
         "check" => check(),
         "pardiff" => pardiff(),
+        "soak" => soak(),
         _ => {
-            eprintln!("usage: cargo xtask <ci|fmt|lint|clippy|test|check|pardiff>");
+            eprintln!("usage: cargo xtask <ci|fmt|lint|clippy|test|check|pardiff|soak>");
             return ExitCode::from(2);
         }
     };
