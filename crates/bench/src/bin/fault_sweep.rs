@@ -241,6 +241,7 @@ fn soak_check(rate: f64, r: &RunReport, failures: &mut Vec<String>) {
 }
 
 fn main() {
+    let _prof = pcmap_bench::prof_env();
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

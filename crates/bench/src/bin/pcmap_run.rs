@@ -165,6 +165,7 @@ fn build(args: &Args, kind: SystemKind, wl: &catalog::Workload) -> System {
 }
 
 fn main() {
+    let _prof = pcmap_bench::prof_env();
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {

@@ -383,6 +383,8 @@ impl CtrlCore {
     /// first, then oldest, among reads whose chips are free. While any
     /// bank drains, the bus is in write mode and no read issues at all.
     pub fn pick_coarse_read(&self, now: Cycle) -> Option<ReqId> {
+        let _span = pcmap_prof::span(pcmap_prof::SpanId::CtrlSchedule);
+        pcmap_prof::bump(pcmap_prof::Counter::QueueScans);
         if self.any_draining() {
             return None;
         }
@@ -390,6 +392,7 @@ impl CtrlCore {
         let mut best: Option<(bool, u64, ReqId)> = None; // (row_hit, age_key, id)
         for (age, req) in self.read_q.iter().enumerate() {
             let bank = req.loc.bank;
+            pcmap_prof::bump(pcmap_prof::Counter::ConstraintChecks);
             if self.rank.timing().free_at(bank, set, now) > now {
                 continue;
             }
@@ -416,6 +419,7 @@ impl CtrlCore {
     /// Issues a coarse read at `now`. The chips must be free (checked by
     /// [`Self::pick_coarse_read`]).
     pub fn issue_coarse_read(&mut self, id: ReqId, now: Cycle) -> Completion {
+        pcmap_prof::bump(pcmap_prof::Counter::CommandsIssued);
         let req = self.read_q.remove(id).expect("picked read must be queued");
         let bank = req.loc.bank;
         let set = Self::coarse_read_set();
@@ -501,12 +505,15 @@ impl CtrlCore {
     /// same-address write order (a newer write to a line may not jump an
     /// older blocked one).
     pub fn pick_baseline_write(&self, bank: BankId, now: Cycle) -> Option<ReqId> {
+        let _span = pcmap_prof::span(pcmap_prof::SpanId::CtrlSchedule);
+        pcmap_prof::bump(pcmap_prof::Counter::QueueScans);
         let set = Self::baseline_write_set();
         let mut skipped: Vec<pcmap_types::LineAddr> = Vec::new();
         for req in self.write_qs[bank.index()].iter() {
             if skipped.contains(&req.line) {
                 continue;
             }
+            pcmap_prof::bump(pcmap_prof::Counter::ConstraintChecks);
             if self.rank.timing().free_at(req.loc.bank, set, now) <= now {
                 return Some(req.id);
             }
@@ -518,6 +525,7 @@ impl CtrlCore {
     /// Issues a baseline (whole-rank) write at `now`: every chip of the
     /// bank is reserved until the slowest essential chip finishes.
     pub fn issue_baseline_write(&mut self, id: ReqId, now: Cycle) -> Completion {
+        pcmap_prof::bump(pcmap_prof::Counter::CommandsIssued);
         let bank0 = self
             .write_qs
             .iter()
@@ -675,6 +683,7 @@ impl CtrlCore {
         now: Cycle,
         deferred: bool,
     ) -> ReadResolution {
+        let _span = pcmap_prof::span(pcmap_prof::SpanId::CtrlResolve);
         let stored = self.rank.read_line(bank, row, col);
         let codec = self.rank.storage().codec();
         let Some(plan) = self.faults.as_mut() else {
@@ -790,6 +799,7 @@ impl CtrlCore {
         let Some(plan) = self.faults.as_mut() else {
             return;
         };
+        let _span = pcmap_prof::span(pcmap_prof::SpanId::FaultInject);
         if let Some(bit) = plan.on_word_write() {
             let word = plan.pick(pcmap_types::WORDS_PER_LINE as u64) as usize;
             self.rank.storage_mut().stick_bit(bank, row, col, word, bit);
@@ -821,6 +831,7 @@ impl CtrlCore {
         let Some(plan) = self.faults.as_mut() else {
             return expected_end;
         };
+        let _span = pcmap_prof::span(pcmap_prof::SpanId::FaultInject);
         let outcome = plan.on_chip_op();
         if matches!(outcome, ChipFault::None) {
             return expected_end;
@@ -940,6 +951,7 @@ impl Controller for BaselineController {
     }
 
     fn step(&mut self, now: Cycle) -> Vec<Completion> {
+        let _span = pcmap_prof::span(pcmap_prof::SpanId::CtrlStep);
         let mut out = Vec::new();
         let banks = self.core.org.banks;
         self.core.service_watchdogs(now);

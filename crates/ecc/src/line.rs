@@ -71,6 +71,7 @@ impl LineCodec {
 
     /// The 64-bit ECC word for `line`: check byte of word *i* in byte *i*.
     pub fn ecc_word(&self, line: &CacheLine) -> u64 {
+        let _span = pcmap_prof::span(pcmap_prof::SpanId::EccEncode);
         let mut out = 0u64;
         for i in 0..WORDS_PER_LINE {
             let byte = hamming::check_byte(hamming::encode(line.word(i)));
@@ -88,6 +89,7 @@ impl LineCodec {
     /// an existing ECC word — the fine-grained ECC update performed when a
     /// write touches only some words.
     pub fn update_ecc_word(&self, old_ecc: u64, line: &CacheLine, mask: WordMask) -> u64 {
+        let _span = pcmap_prof::span(pcmap_prof::SpanId::EccEncode);
         let mut out = old_ecc;
         for i in mask.iter() {
             let byte = hamming::check_byte(hamming::encode(line.word(i)));
@@ -100,6 +102,7 @@ impl LineCodec {
     /// Verifies `line` against a stored ECC word, correcting single-bit
     /// errors per word.
     pub fn verify(&self, line: &CacheLine, ecc_word: u64) -> LineCheck {
+        let _span = pcmap_prof::span(pcmap_prof::SpanId::EccDecode);
         let mut corrected = *line;
         let mut fixed = WordMask::empty();
         let mut dead = WordMask::empty();
@@ -134,6 +137,7 @@ impl LineCodec {
     ///
     /// Panics if `missing >= 8`.
     pub fn reconstruct(&self, partial: &CacheLine, missing: usize, pcc_word: u64) -> CacheLine {
+        let _span = pcmap_prof::span(pcmap_prof::SpanId::EccDecode);
         let mut out = *partial;
         out.set_word(
             missing,

@@ -60,9 +60,16 @@ pub enum CrateScope {
     /// Simulation-facing code: all rules. Determinism here is
     /// load-bearing for `par_equiv` and the golden anchors.
     SimFacing,
-    /// Repo tooling (xtask, bench driver, the linter itself): only the
-    /// ordering rule — tooling may not feed unordered maps into
-    /// reports, but wall-clock use is legitimate there.
+    /// The profiling layer (`prof`) and the perf harness (`xtask`):
+    /// everything except the wall-clock ban. These are the only crates
+    /// that may time the host — that is their whole job — but they must
+    /// still keep deterministic ordering and numeric hygiene, because
+    /// their output lands in committed JSON artifacts.
+    Profiling,
+    /// Repo tooling (bench driver, the linter itself): only the
+    /// ordering and suppression rules — tooling may not feed unordered
+    /// maps into reports. Wall-clock reads are banned here too: host
+    /// timing belongs in the [`CrateScope::Profiling`] crates.
     Tooling,
     /// Vendored dependency shims (`criterion`, `proptest`): exempt.
     /// criterion *must* read the wall clock to bench; proptest routes
@@ -80,7 +87,13 @@ impl CrateScope {
                 Rule::FloatAccumulation,
                 Rule::BadSuppression,
             ],
-            CrateScope::Tooling => &[Rule::HashCollections, Rule::BadSuppression],
+            CrateScope::Profiling => &[
+                Rule::HashCollections,
+                Rule::AsNarrowing,
+                Rule::FloatAccumulation,
+                Rule::BadSuppression,
+            ],
+            CrateScope::Tooling => &[Rule::HashCollections, Rule::WallClock, Rule::BadSuppression],
             CrateScope::Vendored => &[],
         }
     }
@@ -88,6 +101,7 @@ impl CrateScope {
     pub fn name(self) -> &'static str {
         match self {
             CrateScope::SimFacing => "sim-facing",
+            CrateScope::Profiling => "profiling",
             CrateScope::Tooling => "tooling",
             CrateScope::Vendored => "vendored",
         }

@@ -115,10 +115,59 @@ fn vendored_scope_ignores_everything() {
 }
 
 #[test]
-fn tooling_scope_keeps_only_ordering_rules() {
+fn tooling_scope_bans_wall_clock_but_not_narrowing() {
+    // Host timing belongs in the profiling crates; plain tooling reading
+    // the clock is a smell (untimed reports drifting into artifacts).
     let clock = include_str!("fixtures/wall_clock.rs.fixture");
-    assert!(lint_source("tool.rs", clock, CrateScope::Tooling).is_empty());
+    let diags = lint_source("tool.rs", clock, CrateScope::Tooling);
+    assert_eq!(lines_for(&diags, Rule::WallClock), vec![2, 3, 6, 7, 8]);
     let hash = include_str!("fixtures/hash_collections.rs.fixture");
     let diags = lint_source("tool.rs", hash, CrateScope::Tooling);
     assert_eq!(diags.len(), 4);
+    // Narrowing hygiene is not enforced for tooling.
+    let narrow = include_str!("fixtures/as_narrowing.rs.fixture");
+    assert!(lint_source("tool.rs", narrow, CrateScope::Tooling).is_empty());
+}
+
+#[test]
+fn profiling_scope_allows_wall_clock_and_nothing_else() {
+    // `crates/prof` and `crates/xtask` time the host by design — the
+    // wall-clock rule is scoped out for them and only for them.
+    let clock = include_str!("fixtures/wall_clock.rs.fixture");
+    assert!(
+        lint_source("prof.rs", clock, CrateScope::Profiling).is_empty(),
+        "profiling crates may read Instant/SystemTime"
+    );
+    // Every other determinism rule still fires at full strength.
+    let hash = include_str!("fixtures/hash_collections.rs.fixture");
+    let diags = lint_source("prof.rs", hash, CrateScope::Profiling);
+    assert_eq!(lines_for(&diags, Rule::HashCollections), vec![3, 4, 7, 8]);
+    let narrow = include_str!("fixtures/as_narrowing.rs.fixture");
+    let diags = lint_source("prof.rs", narrow, CrateScope::Profiling);
+    assert_eq!(lines_for(&diags, Rule::AsNarrowing), vec![4, 5, 6]);
+    let float = include_str!("fixtures/float_accumulation.rs.fixture");
+    let diags = lint_source("prof.rs", float, CrateScope::Profiling);
+    assert_eq!(lines_for(&diags, Rule::FloatAccumulation), vec![4, 5]);
+}
+
+#[test]
+fn sim_crates_stay_wall_clock_banned() {
+    // The profiling exemption must not leak: a sim-facing file with the
+    // same clock reads is still rejected.
+    let clock = include_str!("fixtures/wall_clock.rs.fixture");
+    let diags = lint_source("crates/sim/src/system.rs", clock, CrateScope::SimFacing);
+    assert_eq!(lines_for(&diags, Rule::WallClock), vec![2, 3, 6, 7, 8]);
+    use std::path::Path;
+    for sim_file in [
+        "crates/sim/src/system.rs",
+        "crates/device/src/timing.rs",
+        "crates/ctrl/src/controller.rs",
+        "crates/par/src/lib.rs",
+    ] {
+        assert_eq!(
+            pcmap_lint::scope_for(Path::new(sim_file)),
+            CrateScope::SimFacing,
+            "{sim_file}"
+        );
+    }
 }

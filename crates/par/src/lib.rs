@@ -1,8 +1,9 @@
 //! Deterministic parallel execution for the PCMap simulator.
 //!
-//! A vendored, dependency-free scoped thread pool (the build environment
-//! has no crates.io access; same offline pattern as the `proptest` and
-//! `criterion` shims, modeled on the `scoped_threadpool` crate's API). Two
+//! A vendored scoped thread pool (the build environment has no crates.io
+//! access; same offline pattern as the `proptest` and `criterion` shims,
+//! modeled on the `scoped_threadpool` crate's API; its only workspace
+//! dependency is the inert-when-disabled `pcmap-prof` observer). Two
 //! properties matter more than raw throughput here:
 //!
 //! 1. **A fixed worker count** chosen up front ([`Pool::new`]), so a run's
@@ -227,6 +228,7 @@ impl<'scope> Scope<'_, 'scope> {
     where
         F: FnOnce() + Send + 'scope,
     {
+        pcmap_prof::bump(pcmap_prof::Counter::PoolJobs);
         if self.inline {
             f();
             return;
@@ -261,6 +263,9 @@ impl<'scope> Scope<'_, 'scope> {
 
 impl Drop for Scope<'_, '_> {
     fn drop(&mut self) {
+        // The join below is the epoch barrier: the span measures how long
+        // the scoping thread waits for its slowest worker.
+        let _span = pcmap_prof::span(pcmap_prof::SpanId::ParBarrier);
         let mut pending = self.state.pending.lock().expect("scope lock");
         while *pending > 0 {
             pending = self.state.all_done.wait(pending).expect("scope lock");

@@ -1,0 +1,110 @@
+//! Feature-gated counting global allocator (`alloc-profile`).
+//!
+//! Wraps the system allocator with four atomics: allocation count,
+//! deallocation count, cumulative bytes requested, and a running peak of
+//! live bytes. Installing it here (rather than in each binary) means a
+//! single cargo feature — `pcmap-prof/alloc-profile` — turns it on
+//! program-wide; `cargo xtask perf --alloc` builds the bench binaries
+//! with it so allocation totals land in the BENCH JSON.
+//!
+//! Counting is unconditional while the feature is compiled in (the
+//! allocator cannot consult the enable flag without recursion hazards);
+//! the cost is one `fetch_add` pair per allocation.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static DEALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES_TOTAL: AtomicU64 = AtomicU64::new(0);
+static BYTES_LIVE: AtomicU64 = AtomicU64::new(0);
+static BYTES_PEAK: AtomicU64 = AtomicU64::new(0);
+
+/// The counting allocator (installed below as the global allocator).
+pub struct CountingAlloc;
+
+impl CountingAlloc {
+    #[inline]
+    fn on_alloc(size: usize) {
+        let size = size as u64;
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES_TOTAL.fetch_add(size, Ordering::Relaxed);
+        let live = BYTES_LIVE.fetch_add(size, Ordering::Relaxed) + size;
+        BYTES_PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn on_dealloc(size: usize) {
+        DEALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES_LIVE.fetch_sub(size as u64, Ordering::Relaxed);
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            Self::on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        Self::on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            Self::on_dealloc(layout.size());
+            Self::on_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Snapshot of the allocator counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocStats {
+    /// Allocations performed.
+    pub allocs: u64,
+    /// Deallocations performed.
+    pub deallocs: u64,
+    /// Cumulative bytes requested across all allocations.
+    pub bytes_total: u64,
+    /// Highest number of live heap bytes observed.
+    pub bytes_peak: u64,
+}
+
+/// Current allocator counters.
+#[must_use]
+pub fn stats() -> AllocStats {
+    AllocStats {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        deallocs: DEALLOCS.load(Ordering::Relaxed),
+        bytes_total: BYTES_TOTAL.load(Ordering::Relaxed),
+        bytes_peak: BYTES_PEAK.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocations_are_counted() {
+        let before = stats();
+        let v: Vec<u64> = Vec::with_capacity(4096);
+        let after = stats();
+        drop(v);
+        assert!(after.allocs > before.allocs);
+        assert!(after.bytes_total >= before.bytes_total + 4096 * 8);
+        assert!(after.bytes_peak > 0);
+        let done = stats();
+        assert!(done.deallocs > before.deallocs);
+    }
+}

@@ -1,0 +1,213 @@
+//! The `BENCH_<n>.json` performance-trajectory schema written by
+//! `cargo xtask perf` (ROADMAP perf-trajectory item).
+//!
+//! One file per PR, at the repo root, so `git log -p BENCH_*.json` is
+//! the simulator's performance history. `xtask perf` compares the fresh
+//! report against the highest-numbered prior file and *warns* (never
+//! fails) when a scenario's `sim_cycles_per_sec` regresses by more than
+//! [`REGRESSION_THRESHOLD`].
+
+use pcmap_obs::Value;
+
+/// Schema version of BENCH files.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Relative throughput drop that counts as a regression (>10%).
+pub const REGRESSION_THRESHOLD: f64 = 0.10;
+
+/// One measured scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchScenario {
+    /// Stable scenario name (`fig08-irlp`, `sweep-jobs4`, ...).
+    pub name: String,
+    /// Wall-clock time of the child process, milliseconds.
+    pub wall_ms: u64,
+    /// Simulated memory cycles summed over the scenario's runs.
+    pub sim_cycles: u64,
+    /// Headline throughput: simulated cycles per wall second.
+    pub sim_cycles_per_sec: f64,
+    /// Peak RSS of the child in kilobytes, if the OS reported one.
+    pub peak_rss_kb: Option<u64>,
+    /// The child's full `pcmap-prof-report` document (spans, counters,
+    /// occupancy, alloc) — [`Value::Null`] if the sidecar was missing.
+    pub profile: Value,
+}
+
+impl BenchScenario {
+    /// Serializes to the BENCH JSON shape.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let mut o = Value::obj();
+        o.set("name", Value::Str(self.name.clone()));
+        o.set("wall_ms", Value::U64(self.wall_ms));
+        o.set("sim_cycles", Value::U64(self.sim_cycles));
+        o.set("sim_cycles_per_sec", Value::F64(self.sim_cycles_per_sec));
+        o.set(
+            "peak_rss_kb",
+            self.peak_rss_kb.map_or(Value::Null, Value::U64),
+        );
+        o.set("profile", self.profile.clone());
+        o
+    }
+
+    /// Parses one scenario object; `None` if required fields are absent.
+    #[must_use]
+    pub fn from_value(v: &Value) -> Option<Self> {
+        Some(Self {
+            name: match v.get("name")? {
+                Value::Str(s) => s.clone(),
+                _ => return None,
+            },
+            wall_ms: v.get("wall_ms")?.as_u64()?,
+            sim_cycles: v.get("sim_cycles")?.as_u64()?,
+            sim_cycles_per_sec: v.get("sim_cycles_per_sec")?.as_f64()?,
+            peak_rss_kb: match v.get("peak_rss_kb") {
+                Some(Value::Null) | None => None,
+                Some(other) => Some(other.as_u64()?),
+            },
+            profile: v.get("profile").cloned().unwrap_or(Value::Null),
+        })
+    }
+}
+
+/// A whole BENCH file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The `n` of `BENCH_<n>.json` (PR index in the stacked sequence).
+    pub bench_index: u64,
+    /// `"full"` or `"smoke"` — scenario scales differ between modes, so
+    /// cross-mode comparisons are skipped.
+    pub mode: String,
+    /// The measured scenarios, in execution order.
+    pub scenarios: Vec<BenchScenario>,
+}
+
+impl BenchReport {
+    /// Serializes to the schema-versioned BENCH document.
+    #[must_use]
+    pub fn to_value(&self) -> Value {
+        let mut v = Value::obj();
+        v.set("schema", Value::Str("pcmap-bench".to_owned()));
+        v.set("schema_version", Value::U64(SCHEMA_VERSION));
+        v.set("bench_index", Value::U64(self.bench_index));
+        v.set("mode", Value::Str(self.mode.clone()));
+        v.set(
+            "scenarios",
+            Value::Arr(self.scenarios.iter().map(BenchScenario::to_value).collect()),
+        );
+        v
+    }
+
+    /// Parses a BENCH document; `None` on schema mismatch.
+    #[must_use]
+    pub fn from_value(v: &Value) -> Option<Self> {
+        if v.get("schema") != Some(&Value::Str("pcmap-bench".to_owned())) {
+            return None;
+        }
+        let Value::Arr(items) = v.get("scenarios")? else {
+            return None;
+        };
+        Some(Self {
+            bench_index: v.get("bench_index")?.as_u64()?,
+            mode: match v.get("mode")? {
+                Value::Str(s) => s.clone(),
+                _ => return None,
+            },
+            scenarios: items
+                .iter()
+                .map(BenchScenario::from_value)
+                .collect::<Option<Vec<_>>>()?,
+        })
+    }
+
+    /// Compares against a prior report: scenarios (matched by name, same
+    /// mode only) whose throughput dropped more than
+    /// [`REGRESSION_THRESHOLD`]. Each entry is
+    /// `(name, old cycles/sec, new cycles/sec)`.
+    #[must_use]
+    pub fn regressions_vs(&self, prior: &BenchReport) -> Vec<(String, f64, f64)> {
+        if self.mode != prior.mode {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for s in &self.scenarios {
+            let Some(old) = prior.scenarios.iter().find(|p| p.name == s.name) else {
+                continue;
+            };
+            if old.sim_cycles_per_sec > 0.0
+                && s.sim_cycles_per_sec < old.sim_cycles_per_sec * (1.0 - REGRESSION_THRESHOLD)
+            {
+                out.push((s.name.clone(), old.sim_cycles_per_sec, s.sim_cycles_per_sec));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            bench_index: 6,
+            mode: "full".to_owned(),
+            scenarios: vec![
+                BenchScenario {
+                    name: "sweep-jobs1".to_owned(),
+                    wall_ms: 4200,
+                    sim_cycles: 9_000_000,
+                    sim_cycles_per_sec: 2_142_857.1,
+                    peak_rss_kb: Some(51_200),
+                    profile: Value::Null,
+                },
+                BenchScenario {
+                    name: "sweep-jobs4".to_owned(),
+                    wall_ms: 1500,
+                    sim_cycles: 9_000_000,
+                    sim_cycles_per_sec: 6_000_000.0,
+                    peak_rss_kb: None,
+                    profile: Value::Null,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bench_schema_round_trips_through_json_text() {
+        let report = sample();
+        let text = report.to_value().to_json_pretty();
+        let parsed = pcmap_obs::json::parse(&text).expect("BENCH JSON parses");
+        let back = BenchReport::from_value(&parsed).expect("schema accepted");
+        assert_eq!(back, report);
+        assert_eq!(
+            parsed.get("schema_version").and_then(Value::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+    }
+
+    #[test]
+    fn regression_detection_uses_threshold_and_mode() {
+        let old = sample();
+        let mut new = sample();
+        // 5% slower: not a regression.
+        new.scenarios[0].sim_cycles_per_sec = old.scenarios[0].sim_cycles_per_sec * 0.95;
+        assert!(new.regressions_vs(&old).is_empty());
+        // 20% slower: flagged.
+        new.scenarios[0].sim_cycles_per_sec = old.scenarios[0].sim_cycles_per_sec * 0.80;
+        let regs = new.regressions_vs(&old);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].0, "sweep-jobs1");
+        // Different mode: comparison skipped entirely.
+        new.mode = "smoke".to_owned();
+        assert!(new.regressions_vs(&old).is_empty());
+    }
+
+    #[test]
+    fn from_value_rejects_foreign_documents() {
+        let mut v = Value::obj();
+        v.set("schema", Value::Str("something-else".to_owned()));
+        assert!(BenchReport::from_value(&v).is_none());
+        assert!(BenchReport::from_value(&Value::Null).is_none());
+    }
+}

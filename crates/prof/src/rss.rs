@@ -1,0 +1,30 @@
+//! Peak resident-set size, read from the OS (no allocator hook needed).
+
+/// Peak RSS of this process in kilobytes (`VmHWM` from
+/// `/proc/self/status`). `None` off Linux or if the field is missing.
+#[must_use]
+pub fn peak_rss_kb() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for l in status.lines() {
+            if let Some(rest) = l.strip_prefix("VmHWM:") {
+                return rest.trim().trim_end_matches("kB").trim().parse().ok();
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_positive_on_linux() {
+        assert!(super::peak_rss_kb().unwrap_or(0) > 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Chrome trace-event export (`chrome://tracing` / Perfetto "X" events).
+//!
+//! When tracing is on, every closed span additionally appends a complete
+//! ("X") event to an in-memory buffer: name, microsecond timestamp
+//! relative to trace start, duration, and a small per-thread tid. The
+//! buffer is capped ([`MAX_EVENTS`]); overflow increments the
+//! `trace_events_dropped` counter instead of growing without bound.
+
+use crate::counter::{self, Counter};
+use pcmap_obs::Value;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Hard cap on buffered events (~40 MB worst case).
+pub const MAX_EVENTS: usize = 1_000_000;
+
+static TRACE_ON: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+#[derive(Debug, Clone)]
+struct TraceEvent {
+    name: &'static str,
+    ts_us: u64,
+    dur_us: u64,
+    tid: u64,
+}
+
+/// `true` when span closures are being recorded as trace events.
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACE_ON.load(Ordering::Relaxed)
+}
+
+/// Turns on trace recording (implies [`crate::enable`]) and anchors the
+/// trace clock.
+pub fn enable_trace() {
+    crate::enable();
+    EPOCH.get_or_init(Instant::now);
+    TRACE_ON.store(true, Ordering::Relaxed);
+}
+
+/// Stops recording trace events (profiling stays enabled).
+pub fn disable_trace() {
+    TRACE_ON.store(false, Ordering::Relaxed);
+}
+
+/// Appends one complete event (called from `SpanGuard::drop`).
+pub(crate) fn record(name: &'static str, begun: Instant, dur_ns: u64) {
+    let Some(&epoch) = EPOCH.get() else { return };
+    let ts_us = u64::try_from(begun.duration_since(epoch).as_micros()).unwrap_or(u64::MAX);
+    let ev = TraceEvent {
+        name,
+        ts_us,
+        dur_us: dur_ns / 1_000,
+        tid: TID.with(|t| *t),
+    };
+    let mut buf = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+    if buf.len() < MAX_EVENTS {
+        buf.push(ev);
+    } else {
+        drop(buf);
+        counter::bump(Counter::TraceDropped);
+    }
+}
+
+/// Number of events currently buffered.
+#[must_use]
+pub fn buffered() -> usize {
+    EVENTS.lock().unwrap_or_else(|e| e.into_inner()).len()
+}
+
+/// Renders the buffer in Chrome trace-event JSON format.
+#[must_use]
+pub fn to_chrome_json() -> Value {
+    let buf = EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+    let events: Vec<Value> = buf
+        .iter()
+        .map(|e| {
+            let mut o = Value::obj();
+            o.set("name", Value::Str(e.name.to_owned()));
+            o.set("cat", Value::Str("pcmap".to_owned()));
+            o.set("ph", Value::Str("X".to_owned()));
+            o.set("ts", Value::U64(e.ts_us));
+            o.set("dur", Value::U64(e.dur_us));
+            o.set("pid", Value::U64(1));
+            o.set("tid", Value::U64(e.tid));
+            o
+        })
+        .collect();
+    let mut root = Value::obj();
+    root.set("traceEvents", Value::Arr(events));
+    root.set("displayTimeUnit", Value::Str("ms".to_owned()));
+    root
+}
+
+/// Writes the buffered events as a Chrome trace file and returns how
+/// many were written. Creates parent directories.
+pub fn write_chrome_trace(path: &str) -> std::io::Result<usize> {
+    let n = buffered();
+    pcmap_obs::export::write_json(path, &to_chrome_json())?;
+    Ok(n)
+}
+
+pub(crate) fn reset_trace() {
+    EVENTS.lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{span, SpanId};
+
+    #[test]
+    fn traced_spans_become_complete_events() {
+        let _g = crate::test_lock();
+        enable_trace();
+        let before = buffered();
+        {
+            let _s = span(SpanId::ParBarrier);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(buffered(), before + 1);
+        let json = to_chrome_json();
+        let Some(Value::Arr(events)) = json.get("traceEvents") else {
+            panic!("traceEvents must be an array");
+        };
+        let ev = events.last().expect("at least one event");
+        assert_eq!(ev.get("ph"), Some(&Value::Str("X".to_owned())));
+        assert_eq!(ev.get("name"), Some(&Value::Str("par.barrier".to_owned())));
+        assert!(ev.get("ts").and_then(Value::as_u64).is_some());
+        assert!(ev.get("dur").and_then(Value::as_u64).unwrap_or(0) >= 900);
+        // Round-trips through the JSON parser.
+        let text = json.to_json_string();
+        pcmap_obs::json::parse(&text).expect("valid JSON");
+        disable_trace();
+        crate::disable();
+    }
+}

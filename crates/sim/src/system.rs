@@ -529,17 +529,24 @@ impl System {
         let mut epoch_out: Vec<Vec<Completion>> = Vec::new();
         epoch_out.resize_with(self.ctrls.len(), Vec::new);
         loop {
+            pcmap_prof::bump(pcmap_prof::Counter::Epochs);
             // 1. Deliver due completions to cores.
-            while let Some(Reverse(d)) = self.deliveries.peek().copied() {
-                if d.when > now {
-                    break;
+            {
+                let _span = pcmap_prof::span(pcmap_prof::SpanId::SimDeliver);
+                while let Some(Reverse(d)) = self.deliveries.peek().copied() {
+                    if d.when > now {
+                        break;
+                    }
+                    self.deliveries.pop();
+                    self.deliver(d, now);
                 }
-                self.deliveries.pop();
-                self.deliver(d, now);
             }
 
             // 2. Let cores act and enqueue requests.
-            self.poll_cores(now);
+            {
+                let _span = pcmap_prof::span(pcmap_prof::SpanId::SimPoll);
+                self.poll_cores(now);
+            }
 
             // 3. Step controllers — the epoch body. Channels share no
             // state with each other, only with the CPU side (steps 1-2
@@ -552,17 +559,29 @@ impl System {
                 Some(p) if !p.is_serial() && self.channels_due(now) >= 2 => Some(p),
                 _ => None,
             };
+            let _step_span = pcmap_prof::span(pcmap_prof::SpanId::SimStep);
             if let Some(p) = par {
+                pcmap_prof::bump(pcmap_prof::Counter::EpochsParallel);
                 p.scoped(|scope| {
-                    for (ctrl, out) in self.ctrls.iter_mut().zip(epoch_out.iter_mut()) {
-                        scope.execute(move || *out = ctrl.step(now));
+                    for (ch, (ctrl, out)) in
+                        self.ctrls.iter_mut().zip(epoch_out.iter_mut()).enumerate()
+                    {
+                        scope.execute(move || {
+                            // Tag this worker so occupancy recorded inside
+                            // `ctrl.step` lands in the right channel bucket.
+                            pcmap_prof::set_channel(ch);
+                            *out = ctrl.step(now);
+                        });
                     }
                 });
             } else {
-                for (ctrl, out) in self.ctrls.iter_mut().zip(epoch_out.iter_mut()) {
+                for (ch, (ctrl, out)) in self.ctrls.iter_mut().zip(epoch_out.iter_mut()).enumerate()
+                {
+                    pcmap_prof::set_channel(ch);
                     *out = ctrl.step(now);
                 }
             }
+            drop(_step_span);
             for (ch, out) in epoch_out.iter_mut().enumerate() {
                 for comp in std::mem::take(out) {
                     self.push_completion(ch, comp);
@@ -619,9 +638,11 @@ impl System {
             }
         }
 
-        for ctrl in &mut self.ctrls {
+        for (ch, ctrl) in self.ctrls.iter_mut().enumerate() {
+            pcmap_prof::set_channel(ch);
             ctrl.settle(Cycle::MAX);
         }
+        pcmap_prof::note_run_cycles(now.0);
         self.report(now)
     }
 
@@ -778,6 +799,9 @@ impl System {
             arrival: now,
         };
 
+        // Enqueue may reserve chip occupancy (forwarded reads issue
+        // inline), so the channel context must be current here too.
+        pcmap_prof::set_channel(ch);
         let outcome = if is_read {
             self.ctrls[ch].enqueue_read(req, now).map(|fwd| {
                 self.cores[i].read_issued();
@@ -1076,6 +1100,39 @@ mod tests {
         assert_eq!(off.essential_histogram, on.essential_histogram);
         assert_eq!(off.reads_via_row, on.reads_via_row);
         assert_eq!(off.rollbacks, on.rollbacks);
+    }
+
+    #[test]
+    fn profiling_does_not_change_simulation() {
+        // The determinism contract for pcmap-prof (ISSUE 6 / DESIGN.md
+        // §12): enabling spans, counters, occupancy, and trace capture
+        // must leave the RunReport byte-identical — the profiler observes
+        // wall time and occupancy, never simulated state.
+        let wl = catalog::by_name("streamcluster").unwrap();
+        let cfg = SimConfig::paper_default(SystemKind::RwowRde).with_requests(600);
+        let off = System::new(cfg.clone(), wl.clone()).run();
+        pcmap_prof::enable();
+        pcmap_prof::enable_trace();
+        let on = System::new(cfg.clone(), wl.clone()).run();
+        // Parallel engine under profiling too: same bytes again.
+        let mut pool = Pool::new(4);
+        let on_par = System::new(cfg, wl).run_parallel(&mut pool);
+        pcmap_prof::disable_trace();
+        pcmap_prof::disable();
+        assert_eq!(
+            off.to_json().to_json_string(),
+            on.to_json().to_json_string(),
+            "profiling must be determinism-neutral (serial engine)"
+        );
+        assert_eq!(
+            off.to_json().to_json_string(),
+            on_par.to_json().to_json_string(),
+            "profiling must be determinism-neutral (parallel engine)"
+        );
+        // And it actually observed the runs: occupancy was recorded.
+        let (runs, cycles) = pcmap_prof::run_totals();
+        assert!(runs >= 2, "profiler saw {runs} runs");
+        assert!(cycles > 0);
     }
 
     #[test]

@@ -120,6 +120,26 @@ fn sweep_runner_json_is_byte_identical_and_input_ordered() {
     assert_eq!(serial, par);
 }
 
+/// Profiling is a pure observer: a serial profiler-off run and a
+/// parallel profiler-on run (spans, counters, occupancy, trace capture
+/// all live) must still be byte-identical. This is the cross-engine
+/// variant of `profiling_does_not_change_simulation` and the acceptance
+/// gate for pcmap-prof's determinism-neutrality contract.
+#[test]
+fn profiled_parallel_run_is_byte_identical_to_unprofiled_serial() {
+    let c = cfg(SystemKind::RwowRde, 1200);
+    let baseline = serial_json(&c, "canneal");
+    pcmap_prof::enable();
+    pcmap_prof::enable_trace();
+    let profiled = parallel_json(&c, "canneal", 4);
+    pcmap_prof::disable_trace();
+    pcmap_prof::disable();
+    assert_eq!(
+        baseline, profiled,
+        "profiling leaked into the simulation state"
+    );
+}
+
 /// Fault injection must not weaken the contract: each channel's
 /// `FaultPlan` is channel-private state stepped in the same order by both
 /// engines, so a seeded fault storm must stay byte-identical across

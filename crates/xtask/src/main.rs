@@ -2,14 +2,17 @@
 //! workspace binary that shells out to cargo).
 //!
 //! ```text
-//! cargo xtask ci       # fmt --check, lint, clippy -D warnings, test, check, pardiff, soak
+//! cargo xtask ci       # fmt --check, lint, clippy -D warnings, test, check, pardiff, soak, perf --smoke
 //! cargo xtask fmt      # rustfmt the whole tree
 //! cargo xtask lint     # pcmap-lint determinism/hygiene pass -> results/lint.json
 //! cargo xtask clippy   # clippy -D warnings only
 //! cargo xtask check    # PCMAP_CHECK=1 release experiment runs (protocol invariants)
 //! cargo xtask pardiff  # serial vs parallel JSON byte-diff gate
 //! cargo xtask soak     # seeded fault-storm recovery gate -> results/soak.json
+//! cargo xtask perf     # performance trajectory -> BENCH_<n>.json (--smoke, --alloc)
 //! ```
+
+mod perf;
 
 use std::env;
 use std::fs;
@@ -203,6 +206,7 @@ fn soak() -> Result<(), String> {
 
 fn main() -> ExitCode {
     let task = env::args().nth(1).unwrap_or_default();
+    let rest: Vec<String> = env::args().skip(2).collect();
     let result = match task.as_str() {
         "ci" => fmt_check()
             .and_then(|()| lint())
@@ -210,7 +214,8 @@ fn main() -> ExitCode {
             .and_then(|()| test())
             .and_then(|()| check())
             .and_then(|()| pardiff())
-            .and_then(|()| soak()),
+            .and_then(|()| soak())
+            .and_then(|()| perf::perf(true, false)),
         "fmt" => step("fmt", &["fmt", "--all"]),
         "lint" => lint(),
         "clippy" => clippy(),
@@ -218,8 +223,14 @@ fn main() -> ExitCode {
         "check" => check(),
         "pardiff" => pardiff(),
         "soak" => soak(),
+        "perf" => perf::perf(
+            rest.iter().any(|a| a == "--smoke"),
+            rest.iter().any(|a| a == "--alloc"),
+        ),
         _ => {
-            eprintln!("usage: cargo xtask <ci|fmt|lint|clippy|test|check|pardiff|soak>");
+            eprintln!(
+                "usage: cargo xtask <ci|fmt|lint|clippy|test|check|pardiff|soak|perf [--smoke] [--alloc]>"
+            );
             return ExitCode::from(2);
         }
     };
