@@ -45,23 +45,7 @@ struct Args {
     fault_seed: u64,
 }
 
-fn parse_system(v: &str) -> Option<SystemKind> {
-    SystemKind::all()
-        .into_iter()
-        .find(|k| {
-            k.label().eq_ignore_ascii_case(v)
-                || k.label().replace("oW-", "ow-").eq_ignore_ascii_case(v)
-        })
-        .or_else(|| match v.to_ascii_lowercase().as_str() {
-            "baseline" => Some(SystemKind::Baseline),
-            "row-nr" | "row" => Some(SystemKind::RowNr),
-            "wow-nr" | "wow" => Some(SystemKind::WowNr),
-            "rwow-nr" => Some(SystemKind::RwowNr),
-            "rwow-rd" => Some(SystemKind::RwowRd),
-            "rwow-rde" | "pcmap" => Some(SystemKind::RwowRde),
-            _ => None,
-        })
-}
+use pcmap_bench::parse_system;
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
@@ -161,7 +145,13 @@ fn build(args: &Args, kind: SystemKind, wl: &catalog::Workload) -> System {
     if args.fault_rate > 0.0 {
         cfg = cfg.with_faults(FaultConfig::storm(args.fault_rate, args.fault_seed));
     }
-    System::new(cfg, wl.clone())
+    let mut sys = System::new(cfg, wl.clone());
+    // PCMAP_LIFETRACE=1 turns on the (determinism-neutral) request
+    // lifecycle tracer; `pcmap_explain` renders the resulting timelines.
+    if pcmap_bench::lifetrace_from_env() {
+        sys.enable_lifecycle_tracing();
+    }
+    sys
 }
 
 fn main() {
@@ -237,6 +227,9 @@ fn main() {
             }
     );
     print!("{}", t.render());
+    for r in &reports {
+        pcmap_bench::warn_on_observability_drops(r);
+    }
 
     if let Some(path) = &args.json {
         let arr = Value::Arr(reports.iter().map(RunReport::to_json).collect());

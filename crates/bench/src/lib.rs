@@ -70,6 +70,59 @@ pub fn prof_env() -> ProfEnv {
 /// Default seed for fault-injection runs that don't pass `--fault-seed`.
 pub const DEFAULT_FAULT_SEED: u64 = 0xFA11;
 
+/// `true` when the `PCMAP_LIFETRACE` environment variable requests
+/// request-lifecycle tracing (set to anything but `0` or empty). Lets any
+/// experiment binary produce causal timelines without new flags; the
+/// tracer is determinism-neutral, so results stay byte-identical.
+pub fn lifetrace_from_env() -> bool {
+    std::env::var("PCMAP_LIFETRACE")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Prints a warning to stderr when a run lost observability data — event
+/// ring overflow or lifecycle timelines past the tracer's capacity. The
+/// simulation itself is unaffected; only the observability record is
+/// incomplete.
+pub fn warn_on_observability_drops(r: &RunReport) {
+    if r.events_dropped > 0 {
+        eprintln!(
+            "warning: {} [{}]: event log overflowed, {} events dropped",
+            r.workload,
+            r.kind.label(),
+            r.events_dropped
+        );
+    }
+    if r.lifetrace_dropped > 0 {
+        eprintln!(
+            "warning: {} [{}]: lifecycle tracer at capacity, {} timelines dropped",
+            r.workload,
+            r.kind.label(),
+            r.lifetrace_dropped
+        );
+    }
+}
+
+/// Parses a system-kind name (`baseline`, `row-nr`, `wow-nr`, `rwow-nr`,
+/// `rwow-rd`, `rwow-rde`/`pcmap`, or any [`SystemKind::label`]).
+pub fn parse_system(v: &str) -> Option<SystemKind> {
+    SystemKind::all()
+        .into_iter()
+        .find(|k| {
+            k.label().eq_ignore_ascii_case(v)
+                || k.label().replace("oW-", "ow-").eq_ignore_ascii_case(v)
+        })
+        .or_else(|| match v.to_ascii_lowercase().as_str() {
+            "baseline" => Some(SystemKind::Baseline),
+            "row-nr" | "row" => Some(SystemKind::RowNr),
+            "wow-nr" | "wow" => Some(SystemKind::WowNr),
+            "rwow-nr" => Some(SystemKind::RwowNr),
+            "rwow-rd" => Some(SystemKind::RwowRd),
+            "rwow-rde" | "pcmap" => Some(SystemKind::RwowRde),
+            _ => None,
+        })
+}
+
 /// Parses a fault-storm spec of the form `RATE` or `RATE:SEED` (e.g.
 /// `0.02` or `0.02:77`) into a [`FaultConfig::storm`] profile. A rate of
 /// `0` yields the disabled configuration.

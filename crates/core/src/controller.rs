@@ -36,7 +36,9 @@ use pcmap_ctrl::request::{Completion, MemRequest, ReqId, ReqKind};
 use pcmap_ctrl::stats::CtrlStats;
 use pcmap_ctrl::BusDir;
 use pcmap_device::PcmRank;
-use pcmap_obs::{Event, EventKind, EventLog, EventSink};
+use pcmap_obs::{
+    Event, EventKind, EventLog, EventSink, LifecycleTracer, RecoveryKind, Resource, WaitCause,
+};
 use pcmap_types::{
     BankId, ChipId, ChipSet, Cycle, Duration, MemOrg, QueueParams, TimingParams, WordMask,
 };
@@ -47,6 +49,9 @@ struct InflightWrite {
     bank: BankId,
     /// End of the data-chip phase (overlap bookkeeping lasts until then).
     data_end: Cycle,
+    /// Request id of the write (blocker attribution for the lifecycle
+    /// tracer).
+    req: u64,
 }
 
 /// The PCMap controller for one channel.
@@ -137,6 +142,15 @@ impl PcmapController {
         self.inflight.retain(|w| w.data_end > now);
     }
 
+    /// Request id of the write currently occupying `bank`, if any
+    /// (lifecycle blocker attribution).
+    fn inflight_blocker(&self, bank: BankId, now: Cycle) -> Option<u64> {
+        self.inflight
+            .iter()
+            .find(|w| w.bank == bank && w.data_end > now)
+            .map(|w| w.req)
+    }
+
     /// Whether this channel's rank is currently demoted to coarse
     /// scheduling (advances the degradation state machine to `now`).
     /// Always `false` without a fault plan.
@@ -189,6 +203,14 @@ impl PcmapController {
             // Writes issue while the bus is in write mode (any drain
             // active) or opportunistically after a read-idle window.
             if !self.core.any_draining() && !self.core.read_idle(now) {
+                if self.core.lifetrace.enabled() {
+                    self.core.lifetrace.blocked(
+                        id.0,
+                        now,
+                        WaitCause::ReadPriority,
+                        Some(Resource::bank(bank)),
+                    );
+                }
                 skipped_lines.push(req.line);
                 continue;
             }
@@ -196,6 +218,18 @@ impl PcmapController {
             // A degraded rank loses WoW speculation: overlapped writes
             // wait for the in-flight write like the baseline would.
             if overlapping && (!self.kind.wow_enabled() || degraded) {
+                if self.core.lifetrace.enabled() {
+                    let cause = if degraded && self.kind.wow_enabled() {
+                        WaitCause::RankDemoted
+                    } else {
+                        WaitCause::WriteInFlight
+                    };
+                    let mut r = Resource::bank(bank);
+                    if let Some(blocker) = self.inflight_blocker(bank, now) {
+                        r = r.blocked_by(blocker);
+                    }
+                    self.core.lifetrace.blocked(id.0, now, cause, Some(r));
+                }
                 skipped_lines.push(req.line);
                 continue;
             }
@@ -233,6 +267,7 @@ impl PcmapController {
                 }
                 let done = start + Duration(self.core.t.array_read);
                 self.core.stats.irlp.open_window(bank, start, done);
+                self.core.lifetrace.issue(id.0, now, start, done);
                 self.complete_write(&req, bank, done, out);
                 return true;
             }
@@ -261,6 +296,22 @@ impl PcmapController {
             let data_chips = self.layout.chips_of_mask(req.line, mask);
             if !timing.set_free_during(bank, data_chips, start, worst_end) {
                 self.core.stats.wr_blocked_data += 1;
+                if self.core.lifetrace.enabled() {
+                    // Diagnose the first busy chip of the conflicting set.
+                    let busy = data_chips
+                        .chips()
+                        .find(|&c| !timing.chip(bank, c).is_free_during(start, worst_end));
+                    let mut r = match busy {
+                        Some(c) => Resource::chip(bank, c),
+                        None => Resource::bank(bank),
+                    };
+                    if let Some(b) = self.inflight_blocker(bank, now) {
+                        r = r.blocked_by(b);
+                    }
+                    self.core
+                        .lifetrace
+                        .blocked(id.0, now, WaitCause::WowSetConflict, Some(r));
+                }
                 skipped_lines.push(req.line);
                 continue;
             }
@@ -268,6 +319,15 @@ impl PcmapController {
             let ecc_end = start + upd;
             if !timing.chip(bank, ecc_chip).is_free_during(start, ecc_end) {
                 self.core.stats.wr_blocked_ecc += 1;
+                if self.core.lifetrace.enabled() {
+                    let mut r = Resource::chip(bank, ecc_chip);
+                    if let Some(b) = self.inflight_blocker(bank, now) {
+                        r = r.blocked_by(b);
+                    }
+                    self.core
+                        .lifetrace
+                        .blocked(id.0, now, WaitCause::EccBusy, Some(r));
+                }
                 skipped_lines.push(req.line);
                 continue;
             }
@@ -277,6 +337,15 @@ impl PcmapController {
                 .is_free_during(worst_end, worst_end + upd)
             {
                 self.core.stats.wr_blocked_pcc += 1;
+                if self.core.lifetrace.enabled() {
+                    let mut r = Resource::chip(bank, pcc_chip);
+                    if let Some(b) = self.inflight_blocker(bank, now) {
+                        r = r.blocked_by(b);
+                    }
+                    self.core
+                        .lifetrace
+                        .blocked(id.0, now, WaitCause::PccBusy, Some(r));
+                }
                 skipped_lines.push(req.line);
                 continue;
             }
@@ -291,6 +360,7 @@ impl PcmapController {
             }
             self.issue_fine_write(
                 req,
+                now,
                 mask,
                 start,
                 program_start,
@@ -307,6 +377,7 @@ impl PcmapController {
     fn issue_fine_write(
         &mut self,
         req: MemRequest,
+        now: Cycle,
         mask: WordMask,
         start: Cycle,
         program_start: Cycle,
@@ -445,8 +516,28 @@ impl PcmapController {
         let fault_end = self.core.apply_chip_fault(bank, data_set, start, data_end);
 
         let done = pcc_end.max(fault_end);
+        if self.core.lifetrace.enabled() {
+            // Service covers step 1 + step 2 (+ any fault stretch); the
+            // chip windows below carry the per-phase detail.
+            self.core.lifetrace.issue(req.id.0, now, start, done);
+            for w in outcome.essential.iter() {
+                let chip = self.layout.chip_of_word(req.line, w);
+                let end = program_start + outcome.kinds[w].duration(&self.core.t);
+                self.core.lifetrace.chip_service(req.id.0, chip, start, end);
+            }
+            self.core
+                .lifetrace
+                .chip_service(req.id.0, ecc_chip, start, ecc_end);
+            self.core
+                .lifetrace
+                .chip_service(req.id.0, pcc_chip, data_end, pcc_end);
+        }
         self.core.stats.irlp.open_window(bank, start, data_end);
-        self.inflight.push(InflightWrite { bank, data_end });
+        self.inflight.push(InflightWrite {
+            bank,
+            data_end,
+            req: req.id.0,
+        });
         if !partial {
             self.complete_write(&req, bank, done, out);
         }
@@ -460,6 +551,7 @@ impl PcmapController {
         out: &mut Vec<Completion>,
     ) {
         self.core.stats.record_write_done(done);
+        self.core.lifetrace.complete(req.id.0, done);
         let lw = &mut self.core.last_write_end[bank.index()];
         *lw = (*lw).max(done);
         self.core.events.record(Event {
@@ -519,6 +611,16 @@ impl PcmapController {
             let plain_ok = plain_allowed && !bus_write_mode;
             let overlap_ok = (bus_write_mode || overlap_everywhere) && overlapping;
             if !plain_ok && !overlap_ok {
+                if bus_write_mode && self.core.lifetrace.enabled() {
+                    // Drain episode holds the bus in write mode and no
+                    // in-flight write offers an overlap lane.
+                    self.core.lifetrace.blocked(
+                        req.id.0,
+                        now,
+                        WaitCause::Drain,
+                        Some(Resource::bank(bank)),
+                    );
+                }
                 continue;
             }
             let polls = if overlapping { self.poll_count() } else { 1 };
@@ -569,7 +671,7 @@ impl PcmapController {
                     self.core
                         .checker
                         .status_poll_n(bank, now, start, overlapping, polls);
-                    return Some(self.issue_read(req, start, data_ready, set, None, None));
+                    return Some(self.issue_read(req, now, start, data_ready, set, None, None));
                 }
                 0 if self.kind.row_enabled() && !degraded && (plain_ok || overlap_ok) => {
                     self.core.stats.reads_deferred_only += 1;
@@ -587,6 +689,7 @@ impl PcmapController {
                     );
                     return Some(self.issue_read(
                         req,
+                        now,
                         start,
                         data_ready,
                         word_chips,
@@ -621,6 +724,7 @@ impl PcmapController {
                     );
                     return Some(self.issue_read(
                         req,
+                        now,
                         start,
                         data_ready,
                         set,
@@ -630,11 +734,53 @@ impl PcmapController {
                 }
                 1 if self.kind.row_enabled() && !degraded && overlap_ok => {
                     self.core.stats.row_blocked_pcc_busy += 1;
+                    if self.core.lifetrace.enabled() {
+                        let mut r = Resource::chip(bank, pcc_chip);
+                        if let Some(b) = self.inflight_blocker(bank, now) {
+                            r = r.blocked_by(b);
+                        }
+                        self.core
+                            .lifetrace
+                            .blocked(req.id.0, now, WaitCause::PccBusy, Some(r));
+                    }
                     continue;
                 }
                 n => {
                     if n >= 2 && self.kind.row_enabled() {
                         self.core.stats.row_blocked_multi_busy += 1;
+                        if self.core.lifetrace.enabled() {
+                            let mut r = Resource::chip(bank, busy_words[0]);
+                            if let Some(b) = self.inflight_blocker(bank, now) {
+                                r = r.blocked_by(b);
+                            }
+                            self.core.lifetrace.blocked(
+                                req.id.0,
+                                now,
+                                WaitCause::MultiBusy,
+                                Some(r),
+                            );
+                        }
+                    } else if self.core.lifetrace.enabled() {
+                        // RoW off, rank demoted, or a busy chip the scheme
+                        // cannot route around: the read waits on the
+                        // in-flight write. With zero busy word chips the
+                        // obstacle is the line's ECC chip.
+                        let cause = if degraded && self.kind.row_enabled() {
+                            WaitCause::RankDemoted
+                        } else if busy_words.is_empty() && !ecc_free {
+                            WaitCause::EccBusy
+                        } else {
+                            WaitCause::WriteInFlight
+                        };
+                        let mut r = match busy_words.first() {
+                            Some(&c) => Resource::chip(bank, c),
+                            None if !ecc_free => Resource::chip(bank, ecc_chip),
+                            None => Resource::bank(bank),
+                        };
+                        if let Some(b) = self.inflight_blocker(bank, now) {
+                            r = r.blocked_by(b);
+                        }
+                        self.core.lifetrace.blocked(req.id.0, now, cause, Some(r));
                     }
                     continue;
                 }
@@ -647,9 +793,11 @@ impl PcmapController {
     /// when inline checking is impossible (verification is deferred);
     /// `reconstructed` is the busy data chip whose word is rebuilt from the
     /// PCC chip.
+    #[allow(clippy::too_many_arguments)]
     fn issue_read(
         &mut self,
         req: MemRequest,
+        decided: Cycle,
         start: Cycle,
         data_ready: Cycle,
         read_set: ChipSet,
@@ -731,6 +879,7 @@ impl PcmapController {
                 kind: EventKind::RowReconstruct { missing },
             });
         }
+        let mut verify_span: Option<(Cycle, Cycle)> = None;
         let verify_done = if deferred_ecc.is_some() {
             // Deferred verify: one-chip read on the busy data chip (if
             // any) plus the ECC chip, once both are completely free.
@@ -772,6 +921,7 @@ impl PcmapController {
                     .events
                     .chip_occupy(req.id.0, bank, chip, vs, ve, || "V".to_owned());
             }
+            verify_span = Some((vs, ve));
             Some(ve)
         } else {
             None
@@ -784,7 +934,38 @@ impl PcmapController {
         let res =
             self.core
                 .resolve_read(bank, req.loc.row, req.loc.col, start, verify_done.is_some());
+        let service_end = data_ready;
         let data_ready = data_ready + res.extra;
+
+        if self.core.lifetrace.enabled() {
+            self.core
+                .lifetrace
+                .issue(req.id.0, decided, start, service_end);
+            for chip in read_set.chips() {
+                self.core
+                    .lifetrace
+                    .chip_service(req.id.0, chip, start, service_end);
+            }
+            if let Some((vs, ve)) = verify_span {
+                self.core.lifetrace.verify(req.id.0, vs, ve);
+            }
+            if res.reconstruct_extra.0 > 0 {
+                self.core.lifetrace.recovery(
+                    req.id.0,
+                    RecoveryKind::Reconstruct,
+                    service_end + res.reconstruct_extra,
+                );
+            }
+            if res.retry_extra.0 > 0 {
+                self.core
+                    .lifetrace
+                    .recovery(req.id.0, RecoveryKind::Retry, data_ready);
+            }
+            if res.failed {
+                self.core.lifetrace.failed(req.id.0);
+            }
+            self.core.lifetrace.complete(req.id.0, data_ready);
+        }
 
         if self.core.read_was_delayed(bank, req.arrival, start) {
             self.core.stats.reads_delayed_by_write += 1;
@@ -934,6 +1115,14 @@ impl Controller for PcmapController {
 
     fn set_trace(&mut self, enabled: bool) {
         self.core.events.set_enabled(enabled);
+    }
+
+    fn lifetrace(&self) -> &LifecycleTracer {
+        &self.core.lifetrace
+    }
+
+    fn set_lifetrace(&mut self, enabled: bool) {
+        self.core.lifetrace.set_enabled(enabled);
     }
 
     fn settle(&mut self, now: Cycle) {

@@ -18,7 +18,9 @@ use crate::stats::CtrlStats;
 use pcmap_device::PcmRank;
 use pcmap_ecc::line::LineCheck;
 use pcmap_faults::{ChipFault, FaultPlan};
-use pcmap_obs::{Event, EventKind, EventLog, EventSink};
+use pcmap_obs::{
+    Event, EventKind, EventLog, EventSink, LifecycleTracer, RecoveryKind, Resource, WaitCause,
+};
 use pcmap_types::{
     BankId, ChipId, ChipSet, ColAddr, Cycle, Duration, MemOrg, QueueParams, RowAddr, TimingParams,
 };
@@ -47,6 +49,11 @@ pub struct PendingWatchdog {
 pub struct ReadResolution {
     /// Extra latency spent on PCC reconstruction and bounded retries.
     pub extra: Duration,
+    /// Share of `extra` spent on PCC erasure reconstruction (recovery
+    /// ladder attribution for the lifecycle tracer).
+    pub reconstruct_extra: Duration,
+    /// Share of `extra` spent waiting out retry backoff.
+    pub retry_extra: Duration,
     /// The read exhausted its retry budget and failed upward.
     pub failed: bool,
     /// The data was handed to the CPU before its deferred SECDED check;
@@ -58,6 +65,8 @@ impl ReadResolution {
     /// A clean resolution: no extra latency, no failure, no corruption.
     pub const CLEAN: Self = Self {
         extra: Duration::ZERO,
+        reconstruct_extra: Duration::ZERO,
+        retry_extra: Duration::ZERO,
         failed: false,
         corrupted: false,
     };
@@ -125,6 +134,11 @@ pub trait Controller: Send {
     fn events(&self) -> &EventLog;
     /// Enables or disables lifecycle event recording.
     fn set_trace(&mut self, enabled: bool);
+    /// The per-request causal-timeline tracer (disabled by default; see
+    /// [`pcmap_obs::LifecycleTracer`] and DESIGN.md §13).
+    fn lifetrace(&self) -> &LifecycleTracer;
+    /// Enables or disables causal lifecycle tracing.
+    fn set_lifetrace(&mut self, enabled: bool);
     /// Finalizes metric windows up to `now` (pass [`Cycle::MAX`] at the end
     /// of simulation).
     fn settle(&mut self, now: Cycle);
@@ -175,6 +189,10 @@ pub struct CtrlCore {
     pub stats: CtrlStats,
     /// Lifecycle event log (disabled by default).
     pub events: EventLog,
+    /// Per-request causal timelines: every simulated cycle of a traced
+    /// request attributed to a wait cause or service phase (disabled by
+    /// default; DESIGN.md §13).
+    pub lifetrace: LifecycleTracer,
     /// Per-bank completion time of the most recent write (delay
     /// attribution for Figure 1).
     pub last_write_end: Vec<Cycle>,
@@ -210,6 +228,7 @@ impl CtrlCore {
             bus: ChannelBus::new(),
             stats: CtrlStats::new(org.banks as usize),
             events: EventLog::disabled(),
+            lifetrace: LifecycleTracer::disabled(),
             last_write_end: vec![Cycle::ZERO; org.banks as usize],
             last_drain_exit: Cycle::ZERO,
             last_read_activity: None,
@@ -289,6 +308,7 @@ impl CtrlCore {
                     },
                 });
             }
+            self.lifetrace.forwarded(req.id.0, req.arrival, done);
             return Ok(Some(Completion {
                 id: req.id,
                 core: req.core,
@@ -302,7 +322,9 @@ impl CtrlCore {
                 corrupted: false,
             }));
         }
+        let (id, arrival) = (req.id.0, req.arrival);
         self.read_q.push(req)?;
+        self.lifetrace.arrival(id, arrival, false);
         Ok(None)
     }
 
@@ -353,6 +375,7 @@ impl CtrlCore {
             bank,
             kind: EventKind::Arrival { is_write: true },
         });
+        self.lifetrace.arrival(id, at, true);
         Ok(())
     }
 
@@ -382,10 +405,20 @@ impl CtrlCore {
     /// Picks the best issueable read at `now` under FR-FCFS: row hits
     /// first, then oldest, among reads whose chips are free. While any
     /// bank drains, the bus is in write mode and no read issues at all.
-    pub fn pick_coarse_read(&self, now: Cycle) -> Option<ReqId> {
+    pub fn pick_coarse_read(&mut self, now: Cycle) -> Option<ReqId> {
         let _span = pcmap_prof::span(pcmap_prof::SpanId::CtrlSchedule);
         pcmap_prof::bump(pcmap_prof::Counter::QueueScans);
         if self.any_draining() {
+            if self.lifetrace.enabled() {
+                for req in self.read_q.iter() {
+                    self.lifetrace.blocked(
+                        req.id.0,
+                        now,
+                        WaitCause::Drain,
+                        Some(Resource::bank(req.loc.bank)),
+                    );
+                }
+            }
             return None;
         }
         let set = Self::coarse_read_set();
@@ -394,6 +427,17 @@ impl CtrlCore {
             let bank = req.loc.bank;
             pcmap_prof::bump(pcmap_prof::Counter::ConstraintChecks);
             if self.rank.timing().free_at(bank, set, now) > now {
+                if self.lifetrace.enabled() {
+                    // Attribute the busy window: a write still programming
+                    // the bank, or (otherwise) another read on its chips.
+                    let cause = if self.last_write_end[bank.index()] > now {
+                        WaitCause::WriteInFlight
+                    } else {
+                        WaitCause::MultiBusy
+                    };
+                    self.lifetrace
+                        .blocked(req.id.0, now, cause, Some(Resource::bank(bank)));
+                }
                 continue;
             }
             let hit = self
@@ -452,7 +496,31 @@ impl CtrlCore {
         // fault injection, the correction/reconstruction/retry pipeline.
         self.rank.energy_mut().record_read(9 * 64); // 8 data words + ECC word
         let res = self.resolve_read(bank, req.loc.row, req.loc.col, now, false);
+        let service_end = data_ready;
         let data_ready = data_ready + res.extra;
+
+        if self.lifetrace.enabled() {
+            self.lifetrace.issue(req.id.0, now, now, service_end);
+            for chip in set.chips() {
+                self.lifetrace
+                    .chip_service(req.id.0, chip, now, service_end);
+            }
+            if res.reconstruct_extra.0 > 0 {
+                self.lifetrace.recovery(
+                    req.id.0,
+                    RecoveryKind::Reconstruct,
+                    service_end + res.reconstruct_extra,
+                );
+            }
+            if res.retry_extra.0 > 0 {
+                self.lifetrace
+                    .recovery(req.id.0, RecoveryKind::Retry, data_ready);
+            }
+            if res.failed {
+                self.lifetrace.failed(req.id.0);
+            }
+            self.lifetrace.complete(req.id.0, data_ready);
+        }
 
         if self.read_was_delayed(bank, req.arrival, now) {
             self.stats.reads_delayed_by_write += 1;
@@ -504,7 +572,7 @@ impl CtrlCore {
     /// Picks the oldest issueable write of `bank` at `now`, preserving
     /// same-address write order (a newer write to a line may not jump an
     /// older blocked one).
-    pub fn pick_baseline_write(&self, bank: BankId, now: Cycle) -> Option<ReqId> {
+    pub fn pick_baseline_write(&mut self, bank: BankId, now: Cycle) -> Option<ReqId> {
         let _span = pcmap_prof::span(pcmap_prof::SpanId::CtrlSchedule);
         pcmap_prof::bump(pcmap_prof::Counter::QueueScans);
         let set = Self::baseline_write_set();
@@ -516,6 +584,14 @@ impl CtrlCore {
             pcmap_prof::bump(pcmap_prof::Counter::ConstraintChecks);
             if self.rank.timing().free_at(req.loc.bank, set, now) <= now {
                 return Some(req.id);
+            }
+            if self.lifetrace.enabled() {
+                self.lifetrace.blocked(
+                    req.id.0,
+                    now,
+                    WaitCause::WriteInFlight,
+                    Some(Resource::bank(bank)),
+                );
             }
             skipped.push(req.line);
         }
@@ -596,6 +672,16 @@ impl CtrlCore {
         // hit a slow / stuck-busy chip. Inert without a fault plan.
         self.plant_wear_fault(bank, req.loc.row, req.loc.col, now);
         let done = self.apply_chip_fault(bank, set, now, done);
+
+        if self.lifetrace.enabled() {
+            self.lifetrace.issue(req.id.0, now, now, done);
+            for i in outcome.essential.iter() {
+                let end = program_start + outcome.kinds[i].duration(&self.t);
+                self.lifetrace
+                    .chip_service(req.id.0, ChipId(i as u8), now, end);
+            }
+            self.lifetrace.complete(req.id.0, done);
+        }
 
         self.stats.irlp.open_window(bank, now, done);
         // Re-record the write's own segments into the fresh window: the
@@ -697,6 +783,8 @@ impl CtrlCore {
         };
         let budget = plan.retry_budget();
         let mut extra = Duration::ZERO;
+        let mut recon = Duration::ZERO;
+        let mut backoff = Duration::ZERO;
         let mut attempt: u32 = 0;
         loop {
             let mut data = stored.data;
@@ -722,6 +810,8 @@ impl CtrlCore {
                     plan.record_fault(now);
                     return ReadResolution {
                         extra,
+                        reconstruct_extra: recon,
+                        retry_extra: backoff,
                         failed: false,
                         corrupted: true,
                     };
@@ -732,6 +822,8 @@ impl CtrlCore {
                 LineCheck::Clean => {
                     return ReadResolution {
                         extra,
+                        reconstruct_extra: recon,
+                        retry_extra: backoff,
                         failed: false,
                         corrupted: false,
                     };
@@ -750,6 +842,8 @@ impl CtrlCore {
                     }
                     return ReadResolution {
                         extra,
+                        reconstruct_extra: recon,
+                        retry_extra: backoff,
                         failed: false,
                         corrupted: false,
                     };
@@ -766,8 +860,11 @@ impl CtrlCore {
                         if codec.verify(&rebuilt, stored.ecc).is_clean() {
                             self.stats.faults_reconstructed += 1;
                             extra += Duration(self.t.array_read);
+                            recon += Duration(self.t.array_read);
                             return ReadResolution {
                                 extra,
+                                reconstruct_extra: recon,
+                                retry_extra: backoff,
                                 failed: false,
                                 corrupted: false,
                             };
@@ -780,6 +877,8 @@ impl CtrlCore {
                         self.stats.reads_failed += 1;
                         return ReadResolution {
                             extra,
+                            reconstruct_extra: recon,
+                            retry_extra: backoff,
                             failed: true,
                             corrupted: false,
                         };
@@ -787,6 +886,7 @@ impl CtrlCore {
                     self.checker.retry(bank, now, attempt, budget);
                     self.stats.fault_retries += 1;
                     extra += Duration(plan.retry_delay(attempt - 1));
+                    backoff += Duration(plan.retry_delay(attempt - 1));
                 }
             }
         }
@@ -955,6 +1055,7 @@ impl Controller for BaselineController {
         let mut out = Vec::new();
         let banks = self.core.org.banks;
         self.core.service_watchdogs(now);
+        let mut tagged_parked = false;
         loop {
             let mut issued = false;
             // Refresh per-bank drain states before scheduling.
@@ -977,8 +1078,20 @@ impl Controller for BaselineController {
                         out.push(self.core.issue_baseline_write(id, now));
                         issued = true;
                     }
+                } else if self.core.lifetrace.enabled() && !tagged_parked {
+                    // Writes parked behind read priority: attribute the
+                    // wait once per step, not once per inner iteration.
+                    for req in self.core.write_qs[bank.index()].iter() {
+                        self.core.lifetrace.blocked(
+                            req.id.0,
+                            now,
+                            WaitCause::ReadPriority,
+                            Some(Resource::bank(bank)),
+                        );
+                    }
                 }
             }
+            tagged_parked = true;
             if !issued {
                 break;
             }
@@ -1023,6 +1136,14 @@ impl Controller for BaselineController {
 
     fn set_trace(&mut self, enabled: bool) {
         self.core.events.set_enabled(enabled);
+    }
+
+    fn lifetrace(&self) -> &LifecycleTracer {
+        &self.core.lifetrace
+    }
+
+    fn set_lifetrace(&mut self, enabled: bool) {
+        self.core.lifetrace.set_enabled(enabled);
     }
 
     fn settle(&mut self, now: Cycle) {

@@ -44,5 +44,5 @@ pub use dimm::DimmRegister;
 pub use energy::{EnergyMeter, EnergyParams};
 pub use rank::{PcmRank, ReadOut, WriteOutcome};
 pub use storage::{RankStorage, StoredLine};
-pub use timing::{ChipBankState, RankTiming};
+pub use timing::{ChipBankState, RankTiming, ReservedWindow};
 pub use wear::WearTracker;

@@ -93,6 +93,24 @@ impl ChipBankState {
     }
 }
 
+/// The occupancy window committed by one [`RankTiming::reserve`] call —
+/// the reservation commit point's receipt. Controllers forward it to the
+/// request lifecycle tracer so per-chip service intervals come from
+/// exactly where the timing model booked them (DESIGN.md §13). Empty
+/// (`set` empty, `start == end`) when the requested window was
+/// zero-length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReservedWindow {
+    /// Bank the chips were reserved on.
+    pub bank: BankId,
+    /// The chips booked.
+    pub set: ChipSet,
+    /// Window start (inclusive).
+    pub start: Cycle,
+    /// Window end (exclusive).
+    pub end: Cycle,
+}
+
 /// Occupancy and row state for every (bank, chip) pair of a rank.
 #[derive(Debug, Clone)]
 pub struct RankTiming {
@@ -173,27 +191,48 @@ impl RankTiming {
         t
     }
 
-    /// Reserves every chip in `set` for `bank` over `[start, until)`.
+    /// Reserves every chip in `set` for `bank` over `[start, until)` and
+    /// returns the committed window. This is the single point where busy
+    /// intervals are committed, so observers tapping the return value
+    /// (per-request lifecycle chip-service intervals, DESIGN.md §13) see
+    /// exactly what the timing model booked; a zero-length request
+    /// returns an empty window and books nothing.
     ///
     /// # Panics
     ///
     /// Panics in debug builds if the window overlaps an existing
     /// reservation (double-booking).
-    pub fn reserve(&mut self, bank: BankId, set: ChipSet, start: Cycle, until: Cycle) {
+    pub fn reserve(
+        &mut self,
+        bank: BankId,
+        set: ChipSet,
+        start: Cycle,
+        until: Cycle,
+    ) -> ReservedWindow {
         if until <= start {
-            return;
+            return ReservedWindow {
+                bank,
+                set: ChipSet::empty(),
+                start,
+                end: start,
+            };
         }
         for chip in set.chips() {
             self.chip_mut(bank, chip).insert(start, until);
         }
         // Occupancy book-keeping (observer only; inert when profiling is
-        // off). This is the single point where busy intervals are
-        // committed, so summing here is exact.
+        // off).
         if pcmap_prof::enabled() {
             pcmap_prof::bump(pcmap_prof::Counter::Reservations);
             for chip in set.chips() {
                 pcmap_prof::note_busy(bank.index(), chip.index(), until.0 - start.0);
             }
+        }
+        ReservedWindow {
+            bank,
+            set,
+            start,
+            end: until,
         }
     }
 

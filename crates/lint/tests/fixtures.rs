@@ -81,6 +81,29 @@ fn faults_crate_is_sim_facing() {
 }
 
 #[test]
+fn lifecycle_tracer_fixture_triggers_every_determinism_rule() {
+    // `crates/obs` auto-scopes SimFacing, so a tracer keeping unordered
+    // per-request maps, stamping wall-clock time, or narrowing cycle
+    // values in attribution keys is caught by the same rules that guard
+    // the schedulers it observes.
+    let src = include_str!("fixtures/lifecycle_tracer.rs.fixture");
+    let diags = lint_fixture("lifecycle_tracer.rs", src);
+    assert_eq!(lines_for(&diags, Rule::HashCollections), vec![5, 8]);
+    assert_eq!(lines_for(&diags, Rule::WallClock), vec![9]);
+    assert_eq!(lines_for(&diags, Rule::AsNarrowing), vec![10]);
+    assert_eq!(diags.len(), 4, "{diags:?}");
+}
+
+#[test]
+fn obs_tracer_module_is_sim_facing() {
+    use std::path::Path;
+    assert_eq!(
+        pcmap_lint::scope_for(Path::new("crates/obs/src/lifecycle.rs")),
+        CrateScope::SimFacing
+    );
+}
+
+#[test]
 fn bad_suppression_fixture_triggers() {
     let src = include_str!("fixtures/bad_suppression.rs.fixture");
     let diags = lint_fixture("bad_suppression.rs", src);

@@ -19,6 +19,10 @@
 //! - [`series`] — windowed throughput / IRLP time-series.
 //! - [`stall`] — stall-attribution breakdown reconciling the controller
 //!   counters.
+//! - [`lifecycle`] — per-request causal timelines: every simulated cycle
+//!   of a traced request attributed to a [`lifecycle::WaitCause`] or
+//!   service phase, with a conservation invariant and a critical-path
+//!   reducer (DESIGN.md §13).
 //! - [`json`] / [`csv`] / [`export`] — machine-readable exporters used by
 //!   the bench binaries to write `results/*.json` and `results/*.csv`.
 //!
@@ -31,6 +35,7 @@ pub mod event;
 pub mod export;
 pub mod hist;
 pub mod json;
+pub mod lifecycle;
 pub mod metric;
 pub mod series;
 pub mod stall;
@@ -39,6 +44,10 @@ pub mod trace;
 pub use event::{Event, EventKind, EventLog, EventSink, NO_REQ};
 pub use hist::LatencyHistogram;
 pub use json::Value;
+pub use lifecycle::{
+    CausalSummary, LifecycleReport, LifecycleTracer, Phase, RecoveryKind, ReqTimeline, Resource,
+    Segment, WaitCause,
+};
 pub use metric::{CounterId, GaugeId, GaugeRule, HistogramId, MetricRegistry, MetricsSnapshot};
 pub use series::{Window, WindowedSeries};
 pub use stall::StallBreakdown;

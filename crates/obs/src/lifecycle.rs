@@ -1,0 +1,943 @@
+//! Request lifecycle tracing: per-request, per-cycle causal attribution.
+//!
+//! The aggregate counters ([`crate::stall::StallBreakdown`]) say how many
+//! scheduling attempts were blocked; this module says *where every cycle
+//! of every traced request went*. Each traced request carries a timeline
+//! of contiguous [`Segment`]s — queued, blocked on a diagnosed
+//! [`WaitCause`] (with the concrete blocking resource), Status-poll
+//! pricing, chip service, and the recovery ladder — that **exactly
+//! partitions** `retire − arrival`. The partition is the conservation
+//! invariant: it is enforced at finalize time (debug assert + a violation
+//! counter surfaced in reports, `ProtocolChecker`-style) and re-checked
+//! from the exported structures by the `pcmap_explain --smoke` CI gate.
+//!
+//! Like [`crate::event::EventLog`], the tracer is disabled by default and
+//! near-free when off (one branch per hook). Completed timelines are kept
+//! up to a capacity; overflow increments [`LifecycleTracer::dropped`]
+//! instead of growing without bound, and the drop counter is surfaced in
+//! `RunReport` JSON so silent truncation cannot masquerade as coverage.
+//!
+//! Determinism: recording happens in the controller's own step order and
+//! all aggregation uses `BTreeMap`, so the tracer's output is a pure,
+//! input-order-deterministic function of the simulated schedule — byte-
+//! identical at any `--jobs N` — and tracing never feeds back into the
+//! simulation (see DESIGN.md §13).
+
+use crate::json::Value;
+use pcmap_types::{BankId, ChipId, Cycle};
+use std::collections::BTreeMap;
+
+/// Default cap on retained completed timelines (per channel).
+pub const DEFAULT_TIMELINE_CAPACITY: usize = 1 << 16;
+
+/// Hard cap on segments per request; beyond it new intervals merge into
+/// the last segment (conservation stays exact, attribution coarsens).
+pub const MAX_SEGMENTS_PER_REQUEST: usize = 1 << 12;
+
+/// Why a scheduling attempt could not issue the request — the structured
+/// cause taxonomy of DESIGN.md §13. Read causes and write causes share
+/// the enum; [`LifecycleTracer`] tallies them per direction so each
+/// controller counter reconciles exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WaitCause {
+    /// Target chips busy under an in-flight write (no overlap possible).
+    WriteInFlight,
+    /// A write-drain episode owns the bus/bank.
+    Drain,
+    /// The line's PCC chip is busy (RoW reconstruction read, or a write's
+    /// step-2 parity update).
+    PccBusy,
+    /// Two or more data chips busy: RoW can rebuild at most one word.
+    MultiBusy,
+    /// The line's ECC chip is busy (write step 1).
+    EccBusy,
+    /// Essential data chips busy: WoW found no disjoint chip set.
+    WowSetConflict,
+    /// Recovery retry backoff after an uncorrectable read.
+    RetryBackoff,
+    /// Rank demoted to coarse scheduling; speculation denied.
+    RankDemoted,
+    /// Write parked because reads currently have bus priority.
+    ReadPriority,
+}
+
+impl WaitCause {
+    /// Stable label used in JSON/CSV exports and reconciliation tests.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            WaitCause::WriteInFlight => "write_in_flight",
+            WaitCause::Drain => "drain",
+            WaitCause::PccBusy => "pcc_busy",
+            WaitCause::MultiBusy => "multi_busy",
+            WaitCause::EccBusy => "ecc_busy",
+            WaitCause::WowSetConflict => "wow_set_conflict",
+            WaitCause::RetryBackoff => "retry_backoff",
+            WaitCause::RankDemoted => "rank_demoted",
+            WaitCause::ReadPriority => "read_priority",
+        }
+    }
+}
+
+/// Recovery-ladder interval kinds (attribution of `resolve_read` extras).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecoveryKind {
+    /// PCC erasure reconstruction of an uncorrectable word.
+    Reconstruct,
+    /// A bounded recovery retry (backoff included).
+    Retry,
+}
+
+/// The concrete resource a blocked attempt waited on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Resource {
+    /// Bank holding the contended chips.
+    pub bank: BankId,
+    /// The specific blocking chip, when the scheduler diagnosed one.
+    pub chip: Option<ChipId>,
+    /// The blocking request's id, when known (e.g. the in-flight write).
+    pub blocker: Option<u64>,
+}
+
+impl Resource {
+    /// A bank-only resource (no chip diagnosed).
+    #[must_use]
+    pub fn bank(bank: BankId) -> Self {
+        Self {
+            bank,
+            chip: None,
+            blocker: None,
+        }
+    }
+
+    /// A bank + chip resource.
+    #[must_use]
+    pub fn chip(bank: BankId, chip: ChipId) -> Self {
+        Self {
+            bank,
+            chip: Some(chip),
+            blocker: None,
+        }
+    }
+
+    /// Attaches the blocking request id.
+    #[must_use]
+    pub fn blocked_by(mut self, req: u64) -> Self {
+        self.blocker = Some(req);
+        self
+    }
+
+    /// Stable resource key for per-resource attribution
+    /// (`"bank3"` / `"bank3/chip9"`).
+    #[must_use]
+    pub fn key(&self) -> String {
+        match self.chip {
+            Some(c) => format!("bank{}/chip{}", self.bank.0, c.0),
+            None => format!("bank{}", self.bank.0),
+        }
+    }
+}
+
+/// What a timeline interval was spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Queued with no blocked attempt diagnosed yet.
+    Queued,
+    /// Waiting behind the diagnosed cause since the last attempt.
+    Blocked(WaitCause),
+    /// Status-poll pricing between the issue decision and chip start.
+    StatusPoll,
+    /// On the chips (transfer + array access, through data-ready).
+    Service,
+    /// Recovery-ladder extension after the base service window.
+    Recovery(RecoveryKind),
+}
+
+impl Phase {
+    /// Stable label used in JSON exports and attribution buckets.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Queued => "queued",
+            Phase::Blocked(c) => c.label(),
+            Phase::StatusPoll => "status_poll",
+            Phase::Service => "service",
+            Phase::Recovery(RecoveryKind::Reconstruct) => "recovery_reconstruct",
+            Phase::Recovery(RecoveryKind::Retry) => "recovery_retry",
+        }
+    }
+}
+
+/// One half-open interval `[start, end)` of a request's life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// What the interval was spent on.
+    pub phase: Phase,
+    /// Interval start (inclusive).
+    pub start: Cycle,
+    /// Interval end (exclusive).
+    pub end: Cycle,
+    /// The blocking resource, for `Blocked` intervals where diagnosed.
+    pub resource: Option<Resource>,
+}
+
+impl Segment {
+    /// Interval length in cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.end.0.saturating_sub(self.start.0)
+    }
+}
+
+/// A completed request's full causal timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReqTimeline {
+    /// Request id.
+    pub req: u64,
+    /// `true` for writes.
+    pub is_write: bool,
+    /// Served inline from a write queue (forwarding fast path).
+    pub forwarded: bool,
+    /// The request exhausted its recovery budget and failed upward.
+    pub failed: bool,
+    /// Arrival at the controller.
+    pub arrival: Cycle,
+    /// Retirement (data-ready for reads, program completion for writes).
+    pub retire: Cycle,
+    /// Contiguous segments exactly partitioning `[arrival, retire)`.
+    pub segments: Vec<Segment>,
+    /// Per-chip service windows from the reservation commit point
+    /// (annotations — overlapping, not part of the partition).
+    pub chip_service: Vec<(ChipId, Cycle, Cycle)>,
+    /// Deferred-verify window, when the read retired before its SECDED
+    /// check (may end after `retire`; annotation, not partition).
+    pub verify: Option<(Cycle, Cycle)>,
+}
+
+impl ReqTimeline {
+    /// Total latency in cycles.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.retire.0.saturating_sub(self.arrival.0)
+    }
+
+    /// The conservation invariant: segments are contiguous from `arrival`
+    /// to `retire` and their lengths sum to exactly `latency()`.
+    #[must_use]
+    pub fn conserves(&self) -> bool {
+        let mut cursor = self.arrival;
+        for s in &self.segments {
+            if s.start != cursor || s.end < s.start {
+                return false;
+            }
+            cursor = s.end;
+        }
+        cursor == self.retire
+            && self.segments.iter().map(Segment::cycles).sum::<u64>() == self.latency()
+    }
+
+    /// JSON rendering of the full timeline.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut o = Value::obj();
+        o.set("req", Value::U64(self.req));
+        o.set(
+            "kind",
+            Value::Str(if self.is_write { "write" } else { "read" }.to_owned()),
+        );
+        o.set("forwarded", Value::Bool(self.forwarded));
+        o.set("failed", Value::Bool(self.failed));
+        o.set("arrival", Value::U64(self.arrival.0));
+        o.set("retire", Value::U64(self.retire.0));
+        o.set("latency", Value::U64(self.latency()));
+        o.set("conserves", Value::Bool(self.conserves()));
+        let segs: Vec<Value> = self
+            .segments
+            .iter()
+            .map(|s| {
+                let mut seg = Value::obj();
+                seg.set("phase", Value::Str(s.phase.label().to_owned()));
+                seg.set("start", Value::U64(s.start.0));
+                seg.set("end", Value::U64(s.end.0));
+                if let Some(r) = &s.resource {
+                    seg.set("resource", Value::Str(r.key()));
+                    if let Some(b) = r.blocker {
+                        seg.set("blocker", Value::U64(b));
+                    }
+                }
+                seg
+            })
+            .collect();
+        o.set("segments", Value::Arr(segs));
+        if !self.chip_service.is_empty() {
+            let chips: Vec<Value> = self
+                .chip_service
+                .iter()
+                .map(|&(chip, s, e)| {
+                    let mut c = Value::obj();
+                    c.set("chip", Value::U64(u64::from(chip.0)));
+                    c.set("start", Value::U64(s.0));
+                    c.set("end", Value::U64(e.0));
+                    c
+                })
+                .collect();
+            o.set("chip_service", Value::Arr(chips));
+        }
+        if let Some((vs, ve)) = self.verify {
+            let mut v = Value::obj();
+            v.set("start", Value::U64(vs.0));
+            v.set("end", Value::U64(ve.0));
+            o.set("verify", v);
+        }
+        o
+    }
+}
+
+/// An in-flight request being traced.
+#[derive(Debug, Clone)]
+struct OpenReq {
+    is_write: bool,
+    arrival: Cycle,
+    /// Everything before `cursor` is closed into `segments`.
+    cursor: Cycle,
+    /// The cause governing `[cursor, next event)`, set by the latest
+    /// blocked attempt; `None` means plain queue wait.
+    pending: Option<(WaitCause, Option<Resource>)>,
+    segments: Vec<Segment>,
+    chip_service: Vec<(ChipId, Cycle, Cycle)>,
+    verify: Option<(Cycle, Cycle)>,
+    failed: bool,
+}
+
+impl OpenReq {
+    /// Appends `[self.cursor.max(start), end)` as `phase`, coalescing
+    /// with the previous segment when phase and resource match. Clamping
+    /// to the cursor keeps the partition exact even when windows the
+    /// controller reports overlap (split writes).
+    fn push(&mut self, phase: Phase, end: Cycle, resource: Option<Resource>) {
+        if end <= self.cursor {
+            return;
+        }
+        let start = self.cursor;
+        self.cursor = end;
+        let coalesce = match self.segments.last() {
+            Some(last) => {
+                (last.phase == phase && last.resource == resource && last.end == start)
+                    || self.segments.len() >= MAX_SEGMENTS_PER_REQUEST
+            }
+            None => false,
+        };
+        if coalesce {
+            self.segments.last_mut().expect("non-empty").end = end;
+            return;
+        }
+        self.segments.push(Segment {
+            phase,
+            start,
+            end,
+            resource,
+        });
+    }
+
+    /// Closes the pre-event wait `[cursor, at)` under the pending cause.
+    fn close_wait(&mut self, at: Cycle) {
+        let phase = match self.pending {
+            Some((cause, _)) => Phase::Blocked(cause),
+            None => Phase::Queued,
+        };
+        let resource = self.pending.and_then(|(_, r)| r);
+        self.push(phase, at, resource);
+    }
+}
+
+/// The per-channel request lifecycle tracer (see module docs).
+#[derive(Debug)]
+pub struct LifecycleTracer {
+    enabled: bool,
+    capacity: usize,
+    open: BTreeMap<u64, OpenReq>,
+    done: Vec<ReqTimeline>,
+    dropped: u64,
+    violations: u64,
+    /// Blocked-attempt tallies keyed by (cause, is_write) — kept exact
+    /// (never coalesced) so each controller counter reconciles 1:1.
+    attempts: BTreeMap<(WaitCause, bool), u64>,
+}
+
+impl Default for LifecycleTracer {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl LifecycleTracer {
+    /// A tracer that records nothing until [`Self::set_enabled`].
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            capacity: DEFAULT_TIMELINE_CAPACITY,
+            open: BTreeMap::new(),
+            done: Vec::new(),
+            dropped: 0,
+            violations: 0,
+            attempts: BTreeMap::new(),
+        }
+    }
+
+    /// A disabled tracer with a custom completed-timeline capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            ..Self::disabled()
+        }
+    }
+
+    /// Turns recording on or off; history is kept either way.
+    pub fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+    }
+
+    /// `true` when hooks record.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Completed timelines discarded over capacity.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Conservation violations detected at finalize time.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Completed timelines, in completion order.
+    #[must_use]
+    pub fn timelines(&self) -> &[ReqTimeline] {
+        &self.done
+    }
+
+    /// Blocked-attempt tally for `cause` on the read path.
+    #[must_use]
+    pub fn read_attempts(&self, cause: WaitCause) -> u64 {
+        self.attempts.get(&(cause, false)).copied().unwrap_or(0)
+    }
+
+    /// Blocked-attempt tally for `cause` on the write path.
+    #[must_use]
+    pub fn write_attempts(&self, cause: WaitCause) -> u64 {
+        self.attempts.get(&(cause, true)).copied().unwrap_or(0)
+    }
+
+    /// A request entered the controller.
+    pub fn arrival(&mut self, req: u64, at: Cycle, is_write: bool) {
+        if !self.enabled {
+            return;
+        }
+        self.open.insert(
+            req,
+            OpenReq {
+                is_write,
+                arrival: at,
+                cursor: at,
+                pending: None,
+                segments: Vec::new(),
+                chip_service: Vec::new(),
+                verify: None,
+                failed: false,
+            },
+        );
+    }
+
+    /// A read served inline from the write queue: one-segment timeline.
+    pub fn forwarded(&mut self, req: u64, at: Cycle, done: Cycle) {
+        if !self.enabled {
+            return;
+        }
+        self.retain(ReqTimeline {
+            req,
+            is_write: false,
+            forwarded: true,
+            failed: false,
+            arrival: at,
+            retire: done,
+            segments: vec![Segment {
+                phase: Phase::Service,
+                start: at,
+                end: done,
+                resource: None,
+            }],
+            chip_service: Vec::new(),
+            verify: None,
+        });
+    }
+
+    /// A scheduling attempt at `at` found the request blocked by `cause`.
+    pub fn blocked(&mut self, req: u64, at: Cycle, cause: WaitCause, resource: Option<Resource>) {
+        if !self.enabled {
+            return;
+        }
+        let Some(open) = self.open.get_mut(&req) else {
+            return;
+        };
+        open.close_wait(at);
+        open.pending = Some((cause, resource));
+        *self.attempts.entry((cause, open.is_write)).or_insert(0) += 1;
+    }
+
+    /// The request issued: decision at `decided`, chips busy from `start`
+    /// (Status-poll pricing fills `[decided, start)`) through `end`.
+    pub fn issue(&mut self, req: u64, decided: Cycle, start: Cycle, end: Cycle) {
+        if !self.enabled {
+            return;
+        }
+        let Some(open) = self.open.get_mut(&req) else {
+            return;
+        };
+        open.close_wait(decided);
+        open.pending = None;
+        open.push(Phase::StatusPoll, start, None);
+        open.push(Phase::Service, end, None);
+    }
+
+    /// A recovery-ladder extension `[from, to)` after base service.
+    /// Retries also tally as `RetryBackoff` blocked attempts.
+    pub fn recovery(&mut self, req: u64, kind: RecoveryKind, to: Cycle) {
+        if !self.enabled {
+            return;
+        }
+        let Some(open) = self.open.get_mut(&req) else {
+            return;
+        };
+        open.push(Phase::Recovery(kind), to, None);
+        if kind == RecoveryKind::Retry {
+            *self
+                .attempts
+                .entry((WaitCause::RetryBackoff, open.is_write))
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Per-chip service window from the reservation commit point.
+    pub fn chip_service(&mut self, req: u64, chip: ChipId, start: Cycle, end: Cycle) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(open) = self.open.get_mut(&req) {
+            open.chip_service.push((chip, start, end));
+        }
+    }
+
+    /// Deferred-verify window annotation.
+    pub fn verify(&mut self, req: u64, start: Cycle, end: Cycle) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(open) = self.open.get_mut(&req) {
+            open.verify = Some((start, end));
+        }
+    }
+
+    /// Marks the request as visibly failed (retry budget exhausted).
+    pub fn failed(&mut self, req: u64) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(open) = self.open.get_mut(&req) {
+            open.failed = true;
+        }
+    }
+
+    /// Finalizes the request at `retire`, enforcing conservation.
+    pub fn complete(&mut self, req: u64, retire: Cycle) {
+        if !self.enabled {
+            return;
+        }
+        let Some(mut open) = self.open.remove(&req) else {
+            return;
+        };
+        // Any uncovered tail (should not happen on a healthy schedule)
+        // closes as residual queue wait so the partition stays exact.
+        open.close_wait(retire);
+        let t = ReqTimeline {
+            req,
+            is_write: open.is_write,
+            forwarded: false,
+            failed: open.failed,
+            arrival: open.arrival,
+            retire,
+            segments: open.segments,
+            chip_service: open.chip_service,
+            verify: open.verify,
+        };
+        self.retain(t);
+    }
+
+    fn retain(&mut self, t: ReqTimeline) {
+        if !t.conserves() {
+            debug_assert!(
+                false,
+                "lifecycle conservation violated for req {}: {:?}",
+                t.req, t
+            );
+            self.violations += 1;
+        }
+        if self.done.len() < self.capacity {
+            self.done.push(t);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Per-cause / per-resource attributed-cycle totals — the critical-path
+/// reduction of a set of timelines. All integer arithmetic; merging is
+/// commutative and associative like [`crate::metric::MetricsSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CausalSummary {
+    /// Cycles attributed per phase/cause label, summed over requests.
+    pub attributed: BTreeMap<String, u64>,
+    /// Blocked-attempt tallies per `cause/direction` label
+    /// (e.g. `"pcc_busy/read"`).
+    pub attempts: BTreeMap<String, u64>,
+    /// Blocked cycles per concrete resource key (`"ch0/bank3/chip9"`).
+    pub resources: BTreeMap<String, u64>,
+    /// Completed requests reduced.
+    pub requests: u64,
+    /// Completed reads reduced (forwarded included).
+    pub reads: u64,
+    /// Σ latency over reduced read timelines.
+    pub read_latency_cycles: u64,
+    /// Σ latency over all reduced timelines.
+    pub total_cycles: u64,
+    /// Conservation violations observed by the tracer.
+    pub violations: u64,
+    /// Timelines dropped over the tracer's capacity.
+    pub dropped: u64,
+}
+
+impl CausalSummary {
+    /// Reduces one channel's tracer; `channel` prefixes resource keys.
+    #[must_use]
+    pub fn from_tracer(tracer: &LifecycleTracer, channel: usize) -> Self {
+        let mut s = Self {
+            violations: tracer.violations(),
+            dropped: tracer.dropped(),
+            ..Self::default()
+        };
+        for ((cause, is_write), &n) in &tracer.attempts {
+            let dir = if *is_write { "write" } else { "read" };
+            *s.attempts
+                .entry(format!("{}/{dir}", cause.label()))
+                .or_insert(0) += n;
+        }
+        for t in tracer.timelines() {
+            s.requests += 1;
+            s.total_cycles += t.latency();
+            if !t.is_write {
+                s.reads += 1;
+                s.read_latency_cycles += t.latency();
+            }
+            for seg in &t.segments {
+                *s.attributed
+                    .entry(seg.phase.label().to_owned())
+                    .or_insert(0) += seg.cycles();
+                if let (Phase::Blocked(_), Some(r)) = (seg.phase, &seg.resource) {
+                    *s.resources
+                        .entry(format!("ch{channel}/{}", r.key()))
+                        .or_insert(0) += seg.cycles();
+                }
+            }
+        }
+        s
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Self) {
+        for (k, v) in &other.attributed {
+            *self.attributed.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.attempts {
+            *self.attempts.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.resources {
+            *self.resources.entry(k.clone()).or_insert(0) += v;
+        }
+        self.requests += other.requests;
+        self.reads += other.reads;
+        self.read_latency_cycles += other.read_latency_cycles;
+        self.total_cycles += other.total_cycles;
+        self.violations += other.violations;
+        self.dropped += other.dropped;
+    }
+
+    /// Attributed cycles for a phase/cause label (absent reads 0).
+    #[must_use]
+    pub fn cycles(&self, label: &str) -> u64 {
+        self.attributed.get(label).copied().unwrap_or(0)
+    }
+
+    /// Blocked-attempt tally for a `cause/direction` label.
+    #[must_use]
+    pub fn attempt_count(&self, label: &str) -> u64 {
+        self.attempts.get(label).copied().unwrap_or(0)
+    }
+
+    /// JSON object (cause totals, attempts, resources, conservation).
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let map = |m: &BTreeMap<String, u64>| {
+            let mut o = Value::obj();
+            for (k, v) in m {
+                o.set(k, Value::U64(*v));
+            }
+            o
+        };
+        let mut o = Value::obj();
+        o.set("requests", Value::U64(self.requests));
+        o.set("reads", Value::U64(self.reads));
+        o.set("read_latency_cycles", Value::U64(self.read_latency_cycles));
+        o.set("total_cycles", Value::U64(self.total_cycles));
+        o.set("violations", Value::U64(self.violations));
+        o.set("dropped", Value::U64(self.dropped));
+        o.set("attributed_cycles", map(&self.attributed));
+        o.set("blocked_attempts", map(&self.attempts));
+        o.set("resources", map(&self.resources));
+        o
+    }
+}
+
+/// The gathered lifecycle view of one run: per-channel summaries, the
+/// merged reduction, and every retained timeline (channel-stamped).
+/// Channels are gathered in index order, so this is byte-deterministic
+/// at any worker count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LifecycleReport {
+    /// Per-channel reductions, in channel index order.
+    pub channels: Vec<CausalSummary>,
+    /// All channels merged.
+    pub merged: CausalSummary,
+    /// `(channel, timeline)` for every retained request.
+    pub timelines: Vec<(usize, ReqTimeline)>,
+}
+
+impl LifecycleReport {
+    /// Gathers tracers in channel-index order.
+    #[must_use]
+    pub fn gather<'t>(tracers: impl Iterator<Item = &'t LifecycleTracer>) -> Self {
+        let mut r = Self::default();
+        for (ch, tracer) in tracers.enumerate() {
+            let s = CausalSummary::from_tracer(tracer, ch);
+            r.merged.merge(&s);
+            r.channels.push(s);
+            r.timelines
+                .extend(tracer.timelines().iter().map(|t| (ch, t.clone())));
+        }
+        r
+    }
+
+    /// The `k` slowest requests, deterministically ordered by
+    /// (latency desc, channel, request id).
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> Vec<&(usize, ReqTimeline)> {
+        let mut refs: Vec<&(usize, ReqTimeline)> = self.timelines.iter().collect();
+        refs.sort_by(|a, b| {
+            b.1.latency()
+                .cmp(&a.1.latency())
+                .then(a.0.cmp(&b.0))
+                .then(a.1.req.cmp(&b.1.req))
+        });
+        refs.truncate(k);
+        refs
+    }
+
+    /// JSON document: merged + per-channel summaries and the `top`
+    /// slowest timelines (all timelines when `top` is `None`).
+    #[must_use]
+    pub fn to_json(&self, top: Option<usize>) -> Value {
+        let mut o = Value::obj();
+        o.set("merged", self.merged.to_json());
+        o.set(
+            "channels",
+            Value::Arr(self.channels.iter().map(CausalSummary::to_json).collect()),
+        );
+        let picked = self.top_k(top.unwrap_or(self.timelines.len()));
+        let tl: Vec<Value> = picked
+            .iter()
+            .map(|(ch, t)| {
+                let mut v = t.to_json();
+                v.set("channel", Value::U64(*ch as u64));
+                v
+            })
+            .collect();
+        o.set("timelines", Value::Arr(tl));
+        o
+    }
+
+    /// CSV of the merged per-cause attribution
+    /// (`cause,cycles,attempts_read,attempts_write`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cause,cycles,attempts_read,attempts_write\r\n");
+        for (label, cycles) in &self.merged.attributed {
+            let ar = self.merged.attempt_count(&format!("{label}/read"));
+            let aw = self.merged.attempt_count(&format!("{label}/write"));
+            out.push_str(&format!("{label},{cycles},{ar},{aw}\r\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traced() -> LifecycleTracer {
+        let mut t = LifecycleTracer::disabled();
+        t.set_enabled(true);
+        t
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = LifecycleTracer::disabled();
+        t.arrival(1, Cycle(0), false);
+        t.issue(1, Cycle(0), Cycle(0), Cycle(10));
+        t.complete(1, Cycle(10));
+        assert!(t.timelines().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn timeline_partitions_latency_exactly() {
+        let mut t = traced();
+        t.arrival(7, Cycle(100), false);
+        t.blocked(
+            7,
+            Cycle(104),
+            WaitCause::Drain,
+            Some(Resource::bank(BankId(2))),
+        );
+        t.blocked(
+            7,
+            Cycle(110),
+            WaitCause::Drain,
+            Some(Resource::bank(BankId(2))),
+        );
+        t.blocked(
+            7,
+            Cycle(130),
+            WaitCause::PccBusy,
+            Some(Resource::chip(BankId(2), ChipId::PCC).blocked_by(5)),
+        );
+        t.issue(7, Cycle(150), Cycle(158), Cycle(500));
+        t.recovery(7, RecoveryKind::Reconstruct, Cycle(620));
+        t.complete(7, Cycle(620));
+        let tl = &t.timelines()[0];
+        assert!(tl.conserves(), "{tl:?}");
+        assert_eq!(tl.latency(), 520);
+        // queued [100,104), drain [104,130) coalesced, pcc [130,150),
+        // poll [150,158), service [158,500), reconstruct [500,620).
+        assert_eq!(tl.segments.len(), 6);
+        assert_eq!(tl.segments[1].cycles(), 26);
+        assert_eq!(tl.segments[1].phase, Phase::Blocked(WaitCause::Drain));
+        assert_eq!(tl.segments[2].resource.unwrap().blocker, Some(5), "{tl:?}");
+        assert_eq!(t.read_attempts(WaitCause::Drain), 2);
+        assert_eq!(t.read_attempts(WaitCause::PccBusy), 1);
+        assert_eq!(t.violations(), 0);
+    }
+
+    #[test]
+    fn overlapping_windows_are_clamped_not_double_counted() {
+        let mut t = traced();
+        t.arrival(1, Cycle(0), true);
+        // Split write: second half's window overlaps the first.
+        t.issue(1, Cycle(0), Cycle(0), Cycle(100));
+        t.issue(1, Cycle(60), Cycle(60), Cycle(140));
+        t.complete(1, Cycle(140));
+        let tl = &t.timelines()[0];
+        assert!(tl.conserves(), "{tl:?}");
+        assert_eq!(tl.latency(), 140);
+        assert_eq!(t.violations(), 0);
+    }
+
+    #[test]
+    fn capacity_overflow_counts_drops() {
+        let mut t = LifecycleTracer::with_capacity(2);
+        t.set_enabled(true);
+        for req in 0..4 {
+            t.forwarded(req, Cycle(0), Cycle(2));
+        }
+        assert_eq!(t.timelines().len(), 2);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn summary_reduces_and_merges() {
+        let mut a = traced();
+        a.arrival(1, Cycle(0), false);
+        a.blocked(
+            1,
+            Cycle(0),
+            WaitCause::WriteInFlight,
+            Some(Resource::bank(BankId(0))),
+        );
+        a.issue(1, Cycle(10), Cycle(10), Cycle(50));
+        a.complete(1, Cycle(50));
+        let mut b = traced();
+        b.arrival(2, Cycle(5), true);
+        b.issue(2, Cycle(5), Cycle(7), Cycle(100));
+        b.complete(2, Cycle(100));
+        let sa = CausalSummary::from_tracer(&a, 0);
+        let sb = CausalSummary::from_tracer(&b, 1);
+        let mut merged = sa.clone();
+        merged.merge(&sb);
+        assert_eq!(merged.requests, 2);
+        assert_eq!(merged.reads, 1);
+        assert_eq!(merged.read_latency_cycles, 50);
+        assert_eq!(merged.total_cycles, 50 + 95);
+        assert_eq!(merged.cycles("write_in_flight"), 10);
+        assert_eq!(merged.cycles("service"), 40 + 93);
+        assert_eq!(merged.cycles("status_poll"), 2);
+        assert_eq!(merged.attempt_count("write_in_flight/read"), 1);
+        assert_eq!(merged.resources.get("ch0/bank0").copied(), Some(10));
+        // Merge totals equal a flat reduction: conservation at the
+        // summary level.
+        let sum: u64 = merged.attributed.values().sum();
+        assert_eq!(sum, merged.total_cycles);
+    }
+
+    #[test]
+    fn report_orders_top_k_deterministically() {
+        let mut a = traced();
+        a.forwarded(3, Cycle(0), Cycle(10));
+        a.forwarded(1, Cycle(0), Cycle(30));
+        let mut b = traced();
+        b.forwarded(2, Cycle(0), Cycle(30));
+        let r = LifecycleReport::gather([&a, &b].into_iter());
+        let top = r.top_k(2);
+        assert_eq!(top[0].1.req, 1); // latency 30, channel 0
+        assert_eq!(top[1].1.req, 2); // latency 30, channel 1
+        let json = r.to_json(Some(1)).to_json_string();
+        crate::json::parse(&json).expect("valid JSON");
+        assert!(r.to_csv().starts_with("cause,cycles"));
+    }
+
+    #[test]
+    fn residual_tail_closes_as_queued_and_conserves() {
+        let mut t = traced();
+        t.arrival(9, Cycle(0), false);
+        t.issue(9, Cycle(0), Cycle(0), Cycle(20));
+        // Retire later than the recorded service end (uncovered tail).
+        t.complete(9, Cycle(25));
+        let tl = &t.timelines()[0];
+        assert!(tl.conserves(), "{tl:?}");
+        assert_eq!(tl.segments.last().unwrap().phase, Phase::Queued);
+    }
+}

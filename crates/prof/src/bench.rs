@@ -144,6 +144,31 @@ impl BenchReport {
     }
 }
 
+/// Compact trajectory view over a set of parsed BENCH reports: one row
+/// per file carrying only the schema version, mode, and per-scenario
+/// `sim_cycles_per_sec` — small enough to plot or diff at a glance.
+/// Written by `cargo xtask perf` as `results/bench_history.json`.
+#[must_use]
+pub fn history_value(reports: &[BenchReport]) -> Value {
+    Value::Arr(
+        reports
+            .iter()
+            .map(|r| {
+                let mut o = Value::obj();
+                o.set("bench_index", Value::U64(r.bench_index));
+                o.set("schema_version", Value::U64(SCHEMA_VERSION));
+                o.set("mode", Value::Str(r.mode.clone()));
+                let mut rates = Value::obj();
+                for s in &r.scenarios {
+                    rates.set(&s.name, Value::F64(s.sim_cycles_per_sec));
+                }
+                o.set("sim_cycles_per_sec", rates);
+                o
+            })
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +226,29 @@ mod tests {
         // Different mode: comparison skipped entirely.
         new.mode = "smoke".to_owned();
         assert!(new.regressions_vs(&old).is_empty());
+    }
+
+    #[test]
+    fn history_rows_carry_version_mode_and_rates() {
+        let h = history_value(&[sample()]);
+        let Value::Arr(rows) = &h else {
+            panic!("history must be an array");
+        };
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.get("bench_index"), Some(&Value::U64(6)));
+        assert_eq!(
+            row.get("schema_version").and_then(Value::as_u64),
+            Some(SCHEMA_VERSION)
+        );
+        assert_eq!(row.get("mode"), Some(&Value::Str("full".to_owned())));
+        let rates = row.get("sim_cycles_per_sec").expect("rates present");
+        assert_eq!(
+            rates.get("sweep-jobs4").and_then(Value::as_f64),
+            Some(6_000_000.0)
+        );
+        // Round-trips through the JSON text layer.
+        pcmap_obs::json::parse(&h.to_json_string()).expect("valid JSON");
     }
 
     #[test]

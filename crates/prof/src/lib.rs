@@ -46,7 +46,7 @@ pub use counter::{add, bump, Counter};
 pub use occupancy::{note_busy, note_run_cycles, note_unbusy, run_totals, set_channel};
 pub use report::{report, reset, write_report};
 pub use span::{span, SpanGuard, SpanId};
-pub use trace::{disable_trace, enable_trace, trace_enabled};
+pub use trace::{disable_trace, enable_trace, record_request_span, trace_enabled};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

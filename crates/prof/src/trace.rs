@@ -18,6 +18,7 @@ pub const MAX_EVENTS: usize = 1_000_000;
 static TRACE_ON: AtomicBool = AtomicBool::new(false);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static ASYNC_EVENTS: Mutex<Vec<AsyncEvent>> = Mutex::new(Vec::new());
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
@@ -30,6 +31,17 @@ struct TraceEvent {
     ts_us: u64,
     dur_us: u64,
     tid: u64,
+}
+
+/// An async ("b"/"e") event describing one end of a simulated request's
+/// lifetime on the *simulated* timebase (1 cycle = 1 µs of trace time).
+/// Names are owned because they are formatted per request.
+#[derive(Debug, Clone)]
+struct AsyncEvent {
+    name: String,
+    phase: char,
+    ts_us: u64,
+    id: u64,
 }
 
 /// `true` when span closures are being recorded as trace events.
@@ -70,10 +82,46 @@ pub(crate) fn record(name: &'static str, begun: Instant, dur_ns: u64) {
     }
 }
 
+/// Appends an async begin/end pair describing one simulated request's
+/// lifetime (used by `pcmap_explain` to overlay request timelines on the
+/// span trace; simulated cycles map 1:1 to trace microseconds, so the
+/// two timebases are distinguished by category, not unit). No-op when
+/// trace recording is off; overflow past [`MAX_EVENTS`] bumps the
+/// `trace_events_dropped` counter.
+pub fn record_request_span(name: &str, id: u64, start_us: u64, end_us: u64) {
+    if !trace_enabled() {
+        return;
+    }
+    let mut buf = ASYNC_EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+    if buf.len() + 2 <= MAX_EVENTS {
+        buf.push(AsyncEvent {
+            name: name.to_owned(),
+            phase: 'b',
+            ts_us: start_us,
+            id,
+        });
+        buf.push(AsyncEvent {
+            name: name.to_owned(),
+            phase: 'e',
+            ts_us: end_us,
+            id,
+        });
+    } else {
+        drop(buf);
+        counter::bump(Counter::TraceDropped);
+    }
+}
+
 /// Number of events currently buffered.
 #[must_use]
 pub fn buffered() -> usize {
     EVENTS.lock().unwrap_or_else(|e| e.into_inner()).len()
+}
+
+/// Number of async request events currently buffered.
+#[must_use]
+pub fn async_buffered() -> usize {
+    ASYNC_EVENTS.lock().unwrap_or_else(|e| e.into_inner()).len()
 }
 
 /// Renders the buffer in Chrome trace-event JSON format.
@@ -94,6 +142,19 @@ pub fn to_chrome_json() -> Value {
             o
         })
         .collect();
+    let mut events = events;
+    let async_buf = ASYNC_EVENTS.lock().unwrap_or_else(|e| e.into_inner());
+    events.extend(async_buf.iter().map(|e| {
+        let mut o = Value::obj();
+        o.set("name", Value::Str(e.name.clone()));
+        o.set("cat", Value::Str("pcmap-req".to_owned()));
+        o.set("ph", Value::Str(e.phase.to_string()));
+        o.set("ts", Value::U64(e.ts_us));
+        o.set("id", Value::Str(format!("{:#x}", e.id)));
+        o.set("pid", Value::U64(2));
+        o.set("tid", Value::U64(0));
+        o
+    }));
     let mut root = Value::obj();
     root.set("traceEvents", Value::Arr(events));
     root.set("displayTimeUnit", Value::Str("ms".to_owned()));
@@ -103,13 +164,17 @@ pub fn to_chrome_json() -> Value {
 /// Writes the buffered events as a Chrome trace file and returns how
 /// many were written. Creates parent directories.
 pub fn write_chrome_trace(path: &str) -> std::io::Result<usize> {
-    let n = buffered();
+    let n = buffered() + async_buffered();
     pcmap_obs::export::write_json(path, &to_chrome_json())?;
     Ok(n)
 }
 
 pub(crate) fn reset_trace() {
     EVENTS.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    ASYNC_EVENTS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
 }
 
 #[cfg(test)]
@@ -141,5 +206,39 @@ mod tests {
         pcmap_obs::json::parse(&text).expect("valid JSON");
         disable_trace();
         crate::disable();
+    }
+
+    #[test]
+    fn request_spans_become_async_event_pairs() {
+        let _g = crate::test_lock();
+        enable_trace();
+        let before = async_buffered();
+        record_request_span("req 42 read", 42, 100, 350);
+        assert_eq!(async_buffered(), before + 2);
+        let json = to_chrome_json();
+        let Some(Value::Arr(events)) = json.get("traceEvents") else {
+            panic!("traceEvents must be an array");
+        };
+        let pair: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("cat") == Some(&Value::Str("pcmap-req".to_owned())))
+            .collect();
+        assert!(pair.len() >= 2);
+        let b = pair[pair.len() - 2];
+        let e = pair[pair.len() - 1];
+        assert_eq!(b.get("ph"), Some(&Value::Str("b".to_owned())));
+        assert_eq!(e.get("ph"), Some(&Value::Str("e".to_owned())));
+        assert_eq!(b.get("ts"), Some(&Value::U64(100)));
+        assert_eq!(e.get("ts"), Some(&Value::U64(350)));
+        assert_eq!(b.get("id"), e.get("id"));
+        pcmap_obs::json::parse(&json.to_json_string()).expect("valid JSON");
+        disable_trace();
+        crate::disable();
+        // Off means no-op.
+        let n = async_buffered();
+        record_request_span("ignored", 1, 0, 1);
+        assert_eq!(async_buffered(), n);
+        // Leave the shared buffer clean for the other trace tests.
+        reset_trace();
     }
 }

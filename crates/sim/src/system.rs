@@ -7,8 +7,8 @@ use pcmap_ctrl::stats::SERIES_WINDOW;
 use pcmap_ctrl::{Completion, Controller, LatencyHistogram, MemRequest, ReqId, ReqKind};
 use pcmap_faults::FaultPlan;
 use pcmap_obs::{
-    CounterId, Event, EventKind, EventLog, EventSink, MetricRegistry, MetricsSnapshot,
-    StallBreakdown, Value, WindowedSeries, NO_REQ,
+    CounterId, Event, EventKind, EventLog, EventSink, LifecycleReport, MetricRegistry,
+    MetricsSnapshot, StallBreakdown, Value, WindowedSeries, NO_REQ,
 };
 use pcmap_par::Pool;
 use pcmap_types::{
@@ -163,6 +163,18 @@ pub struct RunReport {
     /// Protocol-invariant violations observed (always 0 on a healthy run;
     /// strict mode panics at the violation site instead of counting).
     pub invariant_violations: u64,
+    /// Events dropped by the bounded event logs (system log plus every
+    /// channel's); nonzero means trace-derived views are incomplete.
+    pub events_dropped: u64,
+    /// Request timelines dropped by the lifecycle tracers' capacity caps
+    /// (always 0 when lifecycle tracing is off).
+    pub lifetrace_dropped: u64,
+    /// Per-request causal timelines and attributed-cycle totals, present
+    /// when lifecycle tracing was enabled ([`System::enable_lifecycle_tracing`]).
+    /// Deliberately excluded from [`Self::to_json`] so traced and untraced
+    /// runs keep byte-identical reports; `pcmap_explain` exports it as a
+    /// sidecar document instead.
+    pub lifecycle: Option<LifecycleReport>,
     /// Faults injected across all classes (0 on fault-free runs).
     pub faults_injected: u64,
     /// Injected transient flips corrected in place by SECDED.
@@ -295,6 +307,10 @@ impl RunReport {
             "invariant_violations",
             Value::U64(self.invariant_violations),
         );
+        // Always present (0 when the logs/tracers are off or never filled),
+        // so enabling tracing cannot perturb the report's byte layout.
+        v.set("events_dropped", Value::U64(self.events_dropped));
+        v.set("lifetrace_dropped", Value::U64(self.lifetrace_dropped));
         let mut faults = Value::obj();
         faults.set("injected", Value::U64(self.faults_injected));
         faults.set("corrected", Value::U64(self.faults_corrected));
@@ -482,6 +498,17 @@ impl System {
             c.set_trace(true);
         }
         self.events.set_enabled(true);
+    }
+
+    /// Enables per-request causal lifecycle tracing on every channel
+    /// (DESIGN.md §13). Independent of [`Self::enable_tracing`]: the
+    /// tracer attributes every simulated cycle of every request to a wait
+    /// cause or service phase, and the resulting [`LifecycleReport`] rides
+    /// on [`RunReport::lifecycle`] without touching the JSON report.
+    pub fn enable_lifecycle_tracing(&mut self) {
+        for c in &mut self.ctrls {
+            c.set_lifetrace(true);
+        }
     }
 
     /// The system-level event log (rollback events).
@@ -932,6 +959,16 @@ impl System {
         for c in &self.cores {
             cores.merge(&c.stats().snapshot());
         }
+        let events_dropped =
+            self.events.dropped() + self.ctrls.iter().map(|c| c.events().dropped()).sum::<u64>();
+        let lifetrace_dropped: u64 = self.ctrls.iter().map(|c| c.lifetrace().dropped()).sum();
+        let lifecycle = if self.ctrls.iter().any(|c| c.lifetrace().enabled()) {
+            Some(LifecycleReport::gather(
+                self.ctrls.iter().map(|c| c.lifetrace()),
+            ))
+        } else {
+            None
+        };
         RunReport {
             kind: self.cfg.kind,
             workload: self.workload_name.clone(),
@@ -1013,6 +1050,9 @@ impl System {
             wear_imbalance: wear_imb,
             invariants_checked: merged.counter("invariants_checked"),
             invariant_violations: merged.counter("invariant_violations"),
+            events_dropped,
+            lifetrace_dropped,
+            lifecycle,
             channels,
             cores,
             sim: self.registry.snapshot(),
@@ -1133,6 +1173,82 @@ mod tests {
         let (runs, cycles) = pcmap_prof::run_totals();
         assert!(runs >= 2, "profiler saw {runs} runs");
         assert!(cycles > 0);
+    }
+
+    #[test]
+    fn lifecycle_tracing_is_determinism_neutral() {
+        // ISSUE 7 determinism contract: the lifecycle tracer observes the
+        // schedule, it never perturbs it. With tracing enabled the
+        // RunReport JSON must stay byte-identical (the full timeline
+        // report lives outside `to_json`; `lifetrace_dropped` is 0 here).
+        let wl = catalog::by_name("streamcluster").unwrap();
+        let cfg = SimConfig::paper_default(SystemKind::RwowRde).with_requests(600);
+        let off = System::new(cfg.clone(), wl.clone()).run();
+        let mut traced = System::new(cfg, wl);
+        traced.enable_lifecycle_tracing();
+        let on = traced.run();
+        assert!(on.lifecycle.is_some(), "tracing was enabled");
+        assert!(off.lifecycle.is_none(), "tracing was not enabled");
+        assert_eq!(
+            off.to_json().to_json_string(),
+            on.to_json().to_json_string(),
+            "lifecycle tracing must be determinism-neutral"
+        );
+    }
+
+    #[test]
+    fn lifecycle_conserves_every_request_and_reconciles_latency() {
+        // Conservation invariant: for every traced request the interval
+        // timeline partitions [arrival, retire) exactly — no gaps, no
+        // overlaps, no unattributed cycles.
+        let wl = catalog::by_name("streamcluster").unwrap();
+        let cfg = SimConfig::paper_default(SystemKind::RwowRde).with_requests(800);
+        let mut sys = System::new(cfg, wl);
+        sys.enable_lifecycle_tracing();
+        let r = sys.run();
+        let lc = r.lifecycle.as_ref().expect("tracing was on");
+        assert!(lc.merged.requests > 0);
+        assert_eq!(lc.merged.violations, 0);
+        assert_eq!(r.lifetrace_dropped, 0);
+        for (ch, t) in &lc.timelines {
+            assert!(
+                t.conserves(),
+                "req {} on ch{ch} does not conserve: {t:?}",
+                t.req
+            );
+        }
+        // Cross-check against the controllers' own accounting: the tracer
+        // saw every completed read and the same summed read latency.
+        let merged = r.merged_channels();
+        assert_eq!(lc.merged.reads, merged.counter("reads_done"));
+        assert_eq!(
+            lc.merged.read_latency_cycles,
+            merged.counter("read_latency_sum")
+        );
+    }
+
+    #[test]
+    fn stall_breakdown_reconciles_with_lifecycle_attempts() {
+        // ISSUE 7 satellite: the aggregate stall counters and the causal
+        // tracer are two independent views of the same blocked scheduling
+        // attempts; on every class they share they must agree exactly.
+        let wl = catalog::by_name("canneal").unwrap();
+        let cfg = SimConfig::paper_default(SystemKind::RwowRde).with_requests(1500);
+        let mut sys = System::new(cfg, wl);
+        sys.enable_lifecycle_tracing();
+        let r = sys.run();
+        let a = &r.lifecycle.as_ref().expect("tracing was on").merged;
+        let stalls = StallBreakdown::from_snapshot(&r.merged_channels());
+        assert_eq!(a.attempt_count("multi_busy/read"), stalls.multi_busy);
+        assert_eq!(a.attempt_count("pcc_busy/read"), stalls.pcc_busy);
+        assert_eq!(
+            a.attempt_count("wow_set_conflict/write"),
+            stalls.write_data_blocked
+        );
+        assert_eq!(a.attempt_count("ecc_busy/write"), stalls.write_ecc_blocked);
+        assert_eq!(a.attempt_count("pcc_busy/write"), stalls.write_pcc_blocked);
+        // The scenario must actually exercise the shared classes.
+        assert!(stalls.total() > 0, "{stalls:?}");
     }
 
     #[test]

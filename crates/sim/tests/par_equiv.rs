@@ -140,6 +140,33 @@ fn profiled_parallel_run_is_byte_identical_to_unprofiled_serial() {
     );
 }
 
+/// The lifecycle tracer (ISSUE 7) is a pure observer too: a serial
+/// untraced run and parallel traced runs at several worker counts must
+/// all render byte-identical RunReport JSON. The full timeline report is
+/// carried out-of-band (`RunReport::lifecycle`, excluded from
+/// `to_json`), so the only JSON-visible tracer output is the
+/// `lifetrace_dropped` counter — which must be 0 here.
+#[test]
+fn lifetraced_parallel_run_is_byte_identical_to_untraced_serial() {
+    let c = cfg(SystemKind::RwowRde, 1200);
+    let baseline = serial_json(&c, "canneal");
+    let wl = catalog::by_name("canneal").expect("catalog workload");
+    for jobs in [1usize, 4] {
+        let mut pool = Pool::new(jobs);
+        let mut sys = System::new(c.clone(), wl.clone());
+        sys.enable_lifecycle_tracing();
+        let r = sys.run_parallel(&mut pool);
+        assert_eq!(r.lifetrace_dropped, 0);
+        let lc = r.lifecycle.as_ref().expect("tracing was on");
+        assert_eq!(lc.merged.violations, 0, "jobs = {jobs}");
+        assert_eq!(
+            baseline,
+            r.to_json().to_json_string(),
+            "lifecycle tracing leaked into the simulation at jobs = {jobs}"
+        );
+    }
+}
+
 /// Fault injection must not weaken the contract: each channel's
 /// `FaultPlan` is channel-private state stepped in the same order by both
 /// engines, so a seeded fault storm must stay byte-identical across

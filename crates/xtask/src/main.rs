@@ -2,13 +2,14 @@
 //! workspace binary that shells out to cargo).
 //!
 //! ```text
-//! cargo xtask ci       # fmt --check, lint, clippy -D warnings, test, check, pardiff, soak, perf --smoke
+//! cargo xtask ci       # fmt --check, lint, clippy -D warnings, test, check, pardiff, soak, explain, perf --smoke
 //! cargo xtask fmt      # rustfmt the whole tree
 //! cargo xtask lint     # pcmap-lint determinism/hygiene pass -> results/lint.json
 //! cargo xtask clippy   # clippy -D warnings only
 //! cargo xtask check    # PCMAP_CHECK=1 release experiment runs (protocol invariants)
 //! cargo xtask pardiff  # serial vs parallel JSON byte-diff gate
 //! cargo xtask soak     # seeded fault-storm recovery gate -> results/soak.json
+//! cargo xtask explain  # lifecycle conservation gate -> results/explain.json
 //! cargo xtask perf     # performance trajectory -> BENCH_<n>.json (--smoke, --alloc)
 //! ```
 
@@ -204,6 +205,35 @@ fn soak() -> Result<(), String> {
     )
 }
 
+/// The request-lifecycle conservation gate (DESIGN.md §13): traces a
+/// small scenario end to end with `pcmap_explain --smoke`, which asserts
+/// that every traced request's interval timeline partitions
+/// `[arrival, retire)` exactly and that the tracer's totals reconcile
+/// with the run's own counters. The explain report (RunReport + causal
+/// timelines) lands in `results/explain.json`.
+fn explain() -> Result<(), String> {
+    step(
+        "explain",
+        &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "pcmap-bench",
+            "--bin",
+            "pcmap_explain",
+            "--",
+            "--smoke",
+            "--workload",
+            "canneal",
+            "--requests",
+            "1200",
+            "--top",
+            "3",
+        ],
+    )
+}
+
 fn main() -> ExitCode {
     let task = env::args().nth(1).unwrap_or_default();
     let rest: Vec<String> = env::args().skip(2).collect();
@@ -215,6 +245,7 @@ fn main() -> ExitCode {
             .and_then(|()| check())
             .and_then(|()| pardiff())
             .and_then(|()| soak())
+            .and_then(|()| explain())
             .and_then(|()| perf::perf(true, false)),
         "fmt" => step("fmt", &["fmt", "--all"]),
         "lint" => lint(),
@@ -223,13 +254,14 @@ fn main() -> ExitCode {
         "check" => check(),
         "pardiff" => pardiff(),
         "soak" => soak(),
+        "explain" => explain(),
         "perf" => perf::perf(
             rest.iter().any(|a| a == "--smoke"),
             rest.iter().any(|a| a == "--alloc"),
         ),
         _ => {
             eprintln!(
-                "usage: cargo xtask <ci|fmt|lint|clippy|test|check|pardiff|soak|perf [--smoke] [--alloc]>"
+                "usage: cargo xtask <ci|fmt|lint|clippy|test|check|pardiff|soak|explain|perf [--smoke] [--alloc]>"
             );
             return ExitCode::from(2);
         }

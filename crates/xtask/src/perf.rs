@@ -275,5 +275,25 @@ pub fn perf(smoke: bool, alloc: bool) -> Result<(), String> {
     pcmap_obs::export::write_json(&out, &report.to_value())
         .map_err(|e| format!("perf: write {out}: {e}"))?;
     println!("xtask: perf: wrote {out} ({mode} mode)");
+
+    // 4. Compact trajectory: one row per BENCH_*.json (including the one
+    // just written) with only schema version, mode, and per-scenario
+    // throughput — the plottable history without the full profiles.
+    let history: Vec<BenchReport> = existing_bench_files()
+        .into_iter()
+        .filter_map(|(_, file)| {
+            let parsed = fs::read_to_string(&file)
+                .ok()
+                .and_then(|text| pcmap_obs::json::parse(&text).ok())?;
+            BenchReport::from_value(&parsed)
+        })
+        .collect();
+    let hist_path = "results/bench_history.json";
+    pcmap_obs::export::write_json(hist_path, &pcmap_prof::bench::history_value(&history))
+        .map_err(|e| format!("perf: write {hist_path}: {e}"))?;
+    println!(
+        "xtask: perf: wrote {hist_path} ({} trajectory rows)",
+        history.len()
+    );
     Ok(())
 }

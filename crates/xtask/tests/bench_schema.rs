@@ -1,0 +1,51 @@
+//! Schema round-trip guard over the committed performance trajectory.
+//!
+//! `BENCH_<n>.json` files are long-lived artifacts (`git log -p` is the
+//! history), so the schema must keep parsing them: this test pins the
+//! real `BENCH_6.json` at the repo root through parse → typed report →
+//! re-serialize → re-parse and requires a fixed point.
+
+use pcmap_obs::Value;
+use pcmap_prof::bench::{history_value, BenchReport, SCHEMA_VERSION};
+
+const BENCH_6: &str = include_str!("../../../BENCH_6.json");
+
+#[test]
+fn committed_bench_file_round_trips_through_the_schema() {
+    let parsed = pcmap_obs::json::parse(BENCH_6).expect("BENCH_6.json parses");
+    assert_eq!(
+        parsed.get("schema_version").and_then(Value::as_u64),
+        Some(SCHEMA_VERSION)
+    );
+    let report = BenchReport::from_value(&parsed).expect("schema accepts BENCH_6.json");
+    assert_eq!(report.bench_index, 6);
+    assert_eq!(report.mode, "full");
+    assert_eq!(report.scenarios.len(), 6);
+
+    // Typed → JSON → typed must be a fixed point.
+    let text = report.to_value().to_json_pretty();
+    let reparsed = pcmap_obs::json::parse(&text).expect("re-serialized BENCH parses");
+    let back = BenchReport::from_value(&reparsed).expect("schema accepts its own output");
+    assert_eq!(back, report);
+}
+
+#[test]
+fn history_rows_match_the_committed_trajectory_point() {
+    let parsed = pcmap_obs::json::parse(BENCH_6).expect("BENCH_6.json parses");
+    let report = BenchReport::from_value(&parsed).expect("schema accepts BENCH_6.json");
+    let h = history_value(std::slice::from_ref(&report));
+    let Value::Arr(rows) = &h else {
+        panic!("history must be an array");
+    };
+    assert_eq!(rows.len(), 1);
+    let row = &rows[0];
+    assert_eq!(row.get("bench_index"), Some(&Value::U64(6)));
+    assert_eq!(row.get("mode"), Some(&Value::Str("full".to_owned())));
+    let rates = row.get("sim_cycles_per_sec").expect("rates present");
+    for s in &report.scenarios {
+        assert_eq!(
+            rates.get(&s.name).and_then(Value::as_f64),
+            Some(s.sim_cycles_per_sec)
+        );
+    }
+}
