@@ -4,7 +4,7 @@
 //! pcmap_run [--workload NAME] [--system KIND] [--requests N]
 //!           [--ratio R] [--seed S] [--rollback faulty|clean] [--all]
 //!           [--jobs N] [--json PATH] [--csv PATH]
-//!           [--fault-rate R] [--fault-seed S]
+//!           [--fault-rate R] [--fault-seed S] [--engine cycle|event]
 //! ```
 //!
 //! `KIND` is one of `baseline`, `row-nr`, `wow-nr`, `rwow-nr`, `rwow-rd`,
@@ -23,10 +23,15 @@
 //! `--fault-rate R` (with optional `--fault-seed S`, or the `PCMAP_FAULTS`
 //! env variable as `RATE[:SEED]`) runs under a deterministic fault storm
 //! (DESIGN.md §11). The default rate of 0 leaves every fault hook inert.
+//!
+//! `--engine cycle|event` (or `PCMAP_ENGINE`) selects the execution
+//! engine (DESIGN.md §14). Both produce byte-identical reports; `event`
+//! (the default) jumps a binary heap of component horizons instead of
+//! scanning every component at every wake.
 
 use pcmap_core::{RollbackMode, SystemKind};
 use pcmap_obs::Value;
-use pcmap_sim::{RunReport, SimConfig, SweepRunner, System, TableBuilder};
+use pcmap_sim::{Engine, RunReport, SimConfig, SweepRunner, System, TableBuilder};
 use pcmap_types::{FaultConfig, TimingParams};
 use pcmap_workloads::catalog;
 
@@ -43,6 +48,7 @@ struct Args {
     csv: Option<String>,
     fault_rate: f64,
     fault_seed: u64,
+    engine: Engine,
 }
 
 use pcmap_bench::parse_system;
@@ -61,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         csv: None,
         fault_rate: 0.0,
         fault_seed: pcmap_bench::DEFAULT_FAULT_SEED,
+        engine: Engine::from_env(),
     };
     // `PCMAP_FAULTS=RATE[:SEED]` seeds the defaults; explicit flags win.
     if let Some(f) = pcmap_bench::faults_from_env() {
@@ -119,12 +126,13 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad fault seed: {e}"))?;
             }
+            "--engine" => args.engine = value("--engine")?.parse()?,
             "--help" | "-h" => {
                 println!(
                     "usage: pcmap_run [--workload NAME] [--system KIND] [--requests N] \
                      [--ratio R] [--seed S] [--rollback faulty|clean] [--all] \
                      [--jobs N] [--json PATH] [--csv PATH] \
-                     [--fault-rate R] [--fault-seed S]"
+                     [--fault-rate R] [--fault-seed S] [--engine cycle|event]"
                 );
                 std::process::exit(0);
             }
@@ -182,9 +190,11 @@ fn main() {
     // channels instead. Both emit byte-identical reports at any N.
     let mut runner = SweepRunner::new(args.jobs);
     let reports: Vec<RunReport> = if kinds.len() > 1 {
-        runner.map(kinds.clone(), |kind| build(&args, kind, &wl).run())
+        runner.map(kinds.clone(), |kind| {
+            build(&args, kind, &wl).run_with_engine(args.engine)
+        })
     } else {
-        vec![build(&args, kinds[0], &wl).run_parallel(runner.pool())]
+        vec![build(&args, kinds[0], &wl).run_parallel_with_engine(runner.pool(), args.engine)]
     };
 
     let mut t = TableBuilder::new(&[

@@ -218,6 +218,17 @@ impl PcmapController {
             // A degraded rank loses WoW speculation: overlapped writes
             // wait for the in-flight write like the baseline would.
             if overlapping && (!self.kind.wow_enabled() || degraded) {
+                // Event horizon: the candidate stays blocked until every
+                // in-flight data phase on this bank has ended.
+                if let Some(t) = self
+                    .inflight
+                    .iter()
+                    .filter(|w| w.bank == bank && w.data_end > now)
+                    .map(|w| w.data_end)
+                    .max()
+                {
+                    self.core.note_hint(t);
+                }
                 if self.core.lifetrace.enabled() {
                     let cause = if degraded && self.kind.wow_enabled() {
                         WaitCause::RankDemoted
@@ -296,6 +307,15 @@ impl PcmapController {
             let data_chips = self.layout.chips_of_mask(req.line, mask);
             if !timing.set_free_during(bank, data_chips, start, worst_end) {
                 self.core.stats.wr_blocked_data += 1;
+                // Event horizon: the window [start, worst_end) shifts
+                // rigidly with `now`, so the conflict clears once `start`
+                // reaches the last conflicting reservation end.
+                if let Some(e) = timing.blocked_until(bank, data_chips, start, worst_end) {
+                    self.core.retry_hint = Some(match self.core.retry_hint {
+                        Some(h) => h.min(Cycle(e.0 - (start.0 - now.0))),
+                        None => Cycle(e.0 - (start.0 - now.0)),
+                    });
+                }
                 if self.core.lifetrace.enabled() {
                     // Diagnose the first busy chip of the conflicting set.
                     let busy = data_chips
@@ -319,6 +339,13 @@ impl PcmapController {
             let ecc_end = start + upd;
             if !timing.chip(bank, ecc_chip).is_free_during(start, ecc_end) {
                 self.core.stats.wr_blocked_ecc += 1;
+                // Event horizon: ECC update window shifts rigidly with now.
+                if let Some(e) = timing.chip(bank, ecc_chip).blocked_until(start, ecc_end) {
+                    self.core.retry_hint = Some(match self.core.retry_hint {
+                        Some(h) => h.min(Cycle(e.0 - (start.0 - now.0))),
+                        None => Cycle(e.0 - (start.0 - now.0)),
+                    });
+                }
                 if self.core.lifetrace.enabled() {
                     let mut r = Resource::chip(bank, ecc_chip);
                     if let Some(b) = self.inflight_blocker(bank, now) {
@@ -337,6 +364,17 @@ impl PcmapController {
                 .is_free_during(worst_end, worst_end + upd)
             {
                 self.core.stats.wr_blocked_pcc += 1;
+                // Event horizon: PCC window [worst_end, worst_end + upd)
+                // also shifts rigidly with now.
+                if let Some(e) = timing
+                    .chip(bank, pcc_chip)
+                    .blocked_until(worst_end, worst_end + upd)
+                {
+                    self.core.retry_hint = Some(match self.core.retry_hint {
+                        Some(h) => h.min(Cycle(e.0 - (worst_end.0 - now.0))),
+                        None => Cycle(e.0 - (worst_end.0 - now.0)),
+                    });
+                }
                 if self.core.lifetrace.enabled() {
                     let mut r = Resource::chip(bank, pcc_chip);
                     if let Some(b) = self.inflight_blocker(bank, now) {
@@ -734,6 +772,14 @@ impl PcmapController {
                 }
                 1 if self.kind.row_enabled() && !degraded && overlap_ok => {
                     self.core.stats.row_blocked_pcc_busy += 1;
+                    // Event horizon: reconstruction waits on the PCC chip;
+                    // its read window shifts rigidly with now.
+                    if let Some(e) = timing.chip(bank, pcc_chip).blocked_until(start, data_ready) {
+                        self.core.retry_hint = Some(match self.core.retry_hint {
+                            Some(h) => h.min(Cycle(e.0 - (start.0 - now.0))),
+                            None => Cycle(e.0 - (start.0 - now.0)),
+                        });
+                    }
                     if self.core.lifetrace.enabled() {
                         let mut r = Resource::chip(bank, pcc_chip);
                         if let Some(b) = self.inflight_blocker(bank, now) {
@@ -746,6 +792,23 @@ impl PcmapController {
                     continue;
                 }
                 n => {
+                    // Event horizon: the read waits on whichever blocking
+                    // chip frees first (busy word chips, or the line's ECC
+                    // chip when no word chip is busy).
+                    let hint = if busy_words.is_empty() {
+                        timing.chip(bank, ecc_chip).blocked_until(start, data_ready)
+                    } else {
+                        busy_words
+                            .iter()
+                            .filter_map(|&c| timing.chip(bank, c).blocked_until(start, data_ready))
+                            .min()
+                    };
+                    if let Some(e) = hint {
+                        self.core.retry_hint = Some(match self.core.retry_hint {
+                            Some(h) => h.min(Cycle(e.0 - (start.0 - now.0))),
+                            None => Cycle(e.0 - (start.0 - now.0)),
+                        });
+                    }
                     if n >= 2 && self.kind.row_enabled() {
                         self.core.stats.row_blocked_multi_busy += 1;
                         if self.core.lifetrace.enabled() {
@@ -1030,12 +1093,18 @@ impl Controller for PcmapController {
     }
 
     fn step(&mut self, now: Cycle) -> Vec<Completion> {
+        if !self.core.step_due(now) {
+            // Not due yet: a step here is defined to be a no-op, which is
+            // what lets the event engine skip it entirely.
+            return Vec::new();
+        }
         let _span = pcmap_prof::span(pcmap_prof::SpanId::CtrlStep);
         let mut out = Vec::new();
         let banks = self.core.org.banks;
         self.core.service_watchdogs(now);
         loop {
             let mut issued = false;
+            self.core.begin_pass();
             // Refresh per-bank drain states.
             for b in 0..banks {
                 self.core.update_drain(BankId(b), now);
@@ -1058,31 +1127,12 @@ impl Controller for PcmapController {
         self.core.stats.irlp.settle(now);
         self.core.rank.timing_mut().prune(now);
         self.core.sync_fault_stats(now);
+        self.core.compute_wake(now);
         out
     }
 
-    fn next_wake(&self, now: Cycle) -> Option<Cycle> {
-        if self.core.read_q.is_empty()
-            && self.core.write_q_len_total() == 0
-            && self.core.watchdogs.is_empty()
-        {
-            return None;
-        }
-        let mut wake = Cycle::MAX;
-        for w in &self.core.watchdogs {
-            wake = Cycle(wake.0.min(w.fire_at.0));
-        }
-        if let Some(b) = self.core.rank.timing().next_boundary(now) {
-            wake = Cycle(wake.0.min(b.0));
-        }
-        if self.core.bus.free_at() > now {
-            wake = Cycle(wake.0.min(self.core.bus.free_at().0));
-        }
-        Some(if wake <= now || wake == Cycle::MAX {
-            Cycle(now.0 + 1)
-        } else {
-            wake
-        })
+    fn next_tick(&self) -> Option<Cycle> {
+        self.core.wake
     }
 
     fn read_q_len(&self) -> usize {

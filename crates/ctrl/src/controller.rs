@@ -111,11 +111,27 @@ pub trait Controller: Send {
 
     /// Makes all issue decisions possible at `now`; returns completions
     /// scheduled during this step (their `done` times are in the future).
+    ///
+    /// Event-engine contract (DESIGN.md §14): a call at a `now` before the
+    /// cached [`Self::next_tick`] horizon is a structural no-op — the
+    /// controller returns without mutating any state — so both engines
+    /// perform identical work regardless of how many cycles they visit.
     fn step(&mut self, now: Cycle) -> Vec<Completion>;
 
+    /// The cached event horizon: the earliest cycle at which the next
+    /// [`Self::step`] call can make progress, or `None` when no work is
+    /// pending. Recomputed at the end of every non-skipped step body and
+    /// reset to [`Cycle::ZERO`] ("due immediately") by every enqueue, so
+    /// it is a pure function of simulation state — never of how often the
+    /// engine polled.
+    fn next_tick(&self) -> Option<Cycle>;
+
     /// The next time this controller could make progress, if any work is
-    /// pending.
-    fn next_wake(&self, now: Cycle) -> Option<Cycle>;
+    /// pending: [`Self::next_tick`] clamped to the future of `now`.
+    fn next_wake(&self, now: Cycle) -> Option<Cycle> {
+        self.next_tick()
+            .map(|w| if w <= now { Cycle(now.0 + 1) } else { w })
+    }
 
     /// Queued reads.
     fn read_q_len(&self) -> usize;
@@ -210,6 +226,16 @@ pub struct CtrlCore {
     pub faults: Option<FaultPlan>,
     /// Stuck-busy chips awaiting their watchdog deadline.
     pub watchdogs: Vec<PendingWatchdog>,
+    /// Cached event horizon ([`Controller::next_tick`]): earliest cycle at
+    /// which the next step body can make progress; `None` when idle.
+    /// Every enqueue resets it to `Some(Cycle::ZERO)` ("due immediately");
+    /// [`Self::compute_wake`] recomputes it at the end of each step body.
+    pub wake: Option<Cycle>,
+    /// Scratch: earliest retry hint noted by a blocked issue branch during
+    /// the current step-body pass ([`Self::note_hint`]). Reset at the top
+    /// of each inner scheduling pass so only the final (non-issuing)
+    /// pass's hints survive into [`Self::compute_wake`].
+    pub retry_hint: Option<Cycle>,
 }
 
 impl CtrlCore {
@@ -235,7 +261,85 @@ impl CtrlCore {
             checker,
             faults: None,
             watchdogs: Vec::new(),
+            wake: None,
+            retry_hint: None,
         }
+    }
+
+    /// `true` when the cached event horizon has been reached — i.e. the
+    /// step body must run at `now`. A step call while this is `false` is
+    /// the event-engine equivalence contract's structural no-op.
+    #[must_use]
+    pub fn step_due(&self, now: Cycle) -> bool {
+        self.wake.is_some_and(|w| w <= now)
+    }
+
+    /// Notes that a blocked issue branch could retry at `t` (the earliest
+    /// cycle the branch's feasibility window clears of *current*
+    /// reservations). Hints may be early — an early wake just runs one
+    /// extra no-progress body identically in both engines — but must
+    /// never be later than the true unblock time of the work they cover.
+    pub fn note_hint(&mut self, t: Cycle) {
+        self.retry_hint = Some(match self.retry_hint {
+            Some(h) => h.min(t),
+            None => t,
+        });
+    }
+
+    /// Starts one inner scheduling pass of a step body: clears the hint
+    /// scratch so stale hints from passes that then issued work don't
+    /// linger. The final pass of a body issues nothing and re-scans every
+    /// queued request, so it leaves the complete hint set.
+    pub fn begin_pass(&mut self) {
+        self.retry_hint = None;
+    }
+
+    /// Recomputes the cached event horizon at the end of a step body:
+    /// min over watchdog deadlines, accumulated blocked-branch retry
+    /// hints, the read-idle expiry that releases opportunistic writes,
+    /// and the fault plan's degradation re-promotion boundary — clamped
+    /// strictly past `now`; `None` when no work is pending.
+    pub fn compute_wake(&mut self, now: Cycle) {
+        let has_work =
+            !self.read_q.is_empty() || self.write_q_len_total() > 0 || !self.watchdogs.is_empty();
+        if !has_work {
+            self.wake = None;
+            self.retry_hint = None;
+            return;
+        }
+        let mut wake = Cycle::MAX;
+        for w in &self.watchdogs {
+            wake = wake.min(w.fire_at);
+        }
+        if let Some(h) = self.retry_hint.take() {
+            wake = wake.min(h);
+        }
+        // Writes parked behind read priority unblock when the read-idle
+        // window expires (reads queued later re-arm the horizon via the
+        // enqueue hook).
+        if self.read_q.is_empty()
+            && self.write_q_len_total() > 0
+            && !self.any_draining()
+            && !self.read_idle(now)
+        {
+            if let Some(t) = self.last_read_activity {
+                wake = wake.min(Cycle(t.0 + Self::READ_IDLE_WINDOW));
+            }
+        }
+        // A degraded rank re-promotes (and regains WoW/RoW) at a known
+        // boundary; wake then so scheduling fidelity matches per-cycle
+        // stepping.
+        if let Some(t) = self.faults.as_ref().and_then(|p| p.next_tick(now)) {
+            wake = wake.min(t);
+        }
+        self.wake = Some(if wake <= now || wake == Cycle::MAX {
+            // Defensive fallback: work is pending but no branch produced a
+            // hint — poll the next cycle rather than stall (matches the
+            // pre-event-engine per-cycle behaviour at worst).
+            Cycle(now.0 + 1)
+        } else {
+            wake
+        });
     }
 
     /// Cycles of read silence required before writes issue
@@ -273,6 +377,10 @@ impl CtrlCore {
         req: MemRequest,
         now: Cycle,
     ) -> Result<Option<Completion>, MemRequest> {
+        // Any read arrival moves the read-idle expiry event (even a
+        // forwarded or rejected one), so the cached horizon must be
+        // recomputed: mark the controller due immediately.
+        self.wake = Some(Cycle::ZERO);
         self.last_read_activity = Some(self.last_read_activity.unwrap_or(Cycle::ZERO).max(now));
         self.events.record(Event {
             at: now,
@@ -369,6 +477,9 @@ impl CtrlCore {
     pub fn enqueue_write_common(&mut self, req: MemRequest) -> Result<(), MemRequest> {
         let (at, id, bank) = (req.arrival, req.id.0, req.loc.bank);
         self.write_qs[req.loc.bank.index()].push(req)?;
+        // Fresh work: mark the controller due immediately so the next
+        // step body runs and recomputes the event horizon.
+        self.wake = Some(Cycle::ZERO);
         self.events.record(Event {
             at,
             req: id,
@@ -426,7 +537,16 @@ impl CtrlCore {
         for (age, req) in self.read_q.iter().enumerate() {
             let bank = req.loc.bank;
             pcmap_prof::bump(pcmap_prof::Counter::ConstraintChecks);
-            if self.rank.timing().free_at(bank, set, now) > now {
+            let chips_free = self.rank.timing().free_at(bank, set, now);
+            if chips_free > now {
+                // Event horizon: this read becomes issueable once every
+                // chip of the coarse set has drained its reservations.
+                // (Direct field update: `self.read_q` is borrowed by the
+                // iteration, so the `note_hint` method can't be called.)
+                self.retry_hint = Some(match self.retry_hint {
+                    Some(h) => h.min(chips_free),
+                    None => chips_free,
+                });
                 if self.lifetrace.enabled() {
                     // Attribute the busy window: a write still programming
                     // the bank, or (otherwise) another read on its chips.
@@ -582,9 +702,18 @@ impl CtrlCore {
                 continue;
             }
             pcmap_prof::bump(pcmap_prof::Counter::ConstraintChecks);
-            if self.rank.timing().free_at(req.loc.bank, set, now) <= now {
+            let chips_free = self.rank.timing().free_at(req.loc.bank, set, now);
+            if chips_free <= now {
                 return Some(req.id);
             }
+            // Event horizon: the write becomes issueable once its bank's
+            // chips drain (the bus never blocks issue, only shifts start).
+            // (Direct field update: `self.write_qs` is borrowed by the
+            // iteration, so the `note_hint` method can't be called.)
+            self.retry_hint = Some(match self.retry_hint {
+                Some(h) => h.min(chips_free),
+                None => chips_free,
+            });
             if self.lifetrace.enabled() {
                 self.lifetrace.blocked(
                     req.id.0,
@@ -1051,6 +1180,11 @@ impl Controller for BaselineController {
     }
 
     fn step(&mut self, now: Cycle) -> Vec<Completion> {
+        if !self.core.step_due(now) {
+            // Not due yet: a step here is defined to be a no-op, which is
+            // what lets the event engine skip it entirely.
+            return Vec::new();
+        }
         let _span = pcmap_prof::span(pcmap_prof::SpanId::CtrlStep);
         let mut out = Vec::new();
         let banks = self.core.org.banks;
@@ -1058,6 +1192,7 @@ impl Controller for BaselineController {
         let mut tagged_parked = false;
         loop {
             let mut issued = false;
+            self.core.begin_pass();
             // Refresh per-bank drain states before scheduling.
             for b in 0..banks {
                 self.core.update_drain(BankId(b), now);
@@ -1099,11 +1234,12 @@ impl Controller for BaselineController {
         self.core.stats.irlp.settle(now);
         self.core.rank.timing_mut().prune(now);
         self.core.sync_fault_stats(now);
+        self.core.compute_wake(now);
         out
     }
 
-    fn next_wake(&self, now: Cycle) -> Option<Cycle> {
-        self.core.next_wake_common(now)
+    fn next_tick(&self) -> Option<Cycle> {
+        self.core.wake
     }
 
     fn read_q_len(&self) -> usize {

@@ -58,6 +58,18 @@ impl ChipBankState {
             .min()
     }
 
+    /// Latest end over reservations overlapping `[from, until)`, or `None`
+    /// when the window is free — i.e. the earliest time a window of the
+    /// same length could start clear of every current conflict.
+    #[must_use]
+    pub fn blocked_until(&self, from: Cycle, until: Cycle) -> Option<Cycle> {
+        self.res
+            .iter()
+            .filter(|&&(s, e)| s < until && e > from)
+            .map(|&(_, e)| e)
+            .max()
+    }
+
     fn insert(&mut self, start: Cycle, end: Cycle) {
         debug_assert!(
             self.is_free_during(start, end),
@@ -273,6 +285,34 @@ impl RankTiming {
         self.state.iter().filter_map(|s| s.next_boundary(now)).min()
     }
 
+    /// Event-engine hint (DESIGN.md §14): the next cycle strictly after
+    /// `now` at which any chip of the rank changes occupancy state.
+    /// Alias of [`Self::next_boundary`] under the component `next_tick`
+    /// naming convention.
+    #[must_use]
+    pub fn next_tick(&self, now: Cycle) -> Option<Cycle> {
+        self.next_boundary(now)
+    }
+
+    /// Latest end over reservations on `bank` × `set` that overlap
+    /// `[from, until)`, or `None` when the whole window is free on every
+    /// chip of the set. The event engine derives precise retry hints from
+    /// this: a request whose feasibility window `[from, until)` shifts
+    /// rigidly with `now` becomes issueable (w.r.t. the *current*
+    /// reservations) once the window start reaches the returned cycle.
+    #[must_use]
+    pub fn blocked_until(
+        &self,
+        bank: BankId,
+        set: ChipSet,
+        from: Cycle,
+        until: Cycle,
+    ) -> Option<Cycle> {
+        set.chips()
+            .filter_map(|c| self.chip(bank, c).blocked_until(from, until))
+            .max()
+    }
+
     /// Drops reservations that ended at or before `now`.
     pub fn prune(&mut self, now: Cycle) {
         let _span = pcmap_prof::span(pcmap_prof::SpanId::DeviceAdvance);
@@ -377,6 +417,43 @@ mod tests {
         assert_eq!(t.next_boundary(Cycle(0)), Some(Cycle(20)));
         assert_eq!(t.next_boundary(Cycle(20)), Some(Cycle(44)));
         assert_eq!(t.next_boundary(Cycle(44)), None);
+    }
+
+    #[test]
+    fn blocked_until_reports_latest_conflicting_end() {
+        let mut t = timing();
+        t.reserve(BankId(0), ChipSet::single(0), Cycle(10), Cycle(40));
+        t.reserve(BankId(0), ChipSet::single(1), Cycle(20), Cycle(90));
+        let both: ChipSet = [0usize, 1].into_iter().collect();
+        // Window clear of both chips → None.
+        assert_eq!(
+            t.blocked_until(BankId(0), both, Cycle(90), Cycle(120)),
+            None
+        );
+        // Window overlapping both → the later conflicting end wins.
+        assert_eq!(
+            t.blocked_until(BankId(0), both, Cycle(30), Cycle(50)),
+            Some(Cycle(90))
+        );
+        // Only chip 0 consulted → its own end.
+        assert_eq!(
+            t.blocked_until(BankId(0), ChipSet::single(0), Cycle(30), Cycle(50)),
+            Some(Cycle(40))
+        );
+        // Touching edges ([40,50) after chip 0's [10,40)) do not conflict.
+        assert_eq!(
+            t.blocked_until(BankId(0), ChipSet::single(0), Cycle(40), Cycle(50)),
+            None
+        );
+    }
+
+    #[test]
+    fn next_tick_is_next_boundary() {
+        let mut t = timing();
+        assert_eq!(t.next_tick(Cycle(0)), None);
+        t.reserve(BankId(0), ChipSet::single(4), Cycle(20), Cycle(44));
+        assert_eq!(t.next_tick(Cycle(0)), Some(Cycle(20)));
+        assert_eq!(t.next_tick(Cycle(20)), t.next_boundary(Cycle(20)));
     }
 
     #[test]

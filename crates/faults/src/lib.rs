@@ -307,6 +307,19 @@ impl FaultPlan {
     pub fn degrade(&self) -> &DegradeState {
         &self.degrade
     }
+
+    /// Event-engine hint (DESIGN.md §14): the next cycle at which the
+    /// degradation machine changes state on its own — the re-promotion
+    /// boundary `last_fault + clean_window` while degraded, `None` while
+    /// healthy (demotion only ever happens inside a fault hook, which the
+    /// scheduler already observes). Non-mutating, so hint computation
+    /// cannot perturb the accounting [`Self::is_degraded`] performs.
+    #[must_use]
+    pub fn next_tick(&self, _now: Cycle) -> Option<Cycle> {
+        self.degrade
+            .degraded
+            .then(|| Cycle(self.degrade.last_fault.0 + self.cfg.clean_window))
+    }
 }
 
 #[cfg(test)]

@@ -13,6 +13,8 @@
 //! |                      | profiling crates (`crates/prof`, `crates/xtask`)     |
 //! | `as-narrowing`       | `as u8/u16/u32/...` on cycle/address-typed values    |
 //! | `float-accumulation` | `+=` on floats in per-cycle stats paths              |
+//! | `manual-time-advance`| `now += 1` / `now = Cycle(now.0 + 1)` clock bumps    |
+//! |                      | outside the engine loops (DESIGN.md §14)             |
 //! | `bad-suppression`    | malformed / reason-less `pcmap-lint:` directives     |
 //!
 //! Suppress one finding with

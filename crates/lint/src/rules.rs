@@ -24,17 +24,23 @@ pub enum Rule {
     /// are order-sensitive, so parallel merge order would leak into
     /// results.
     FloatAccumulation,
+    /// `now += 1` / `now = Cycle(now.0 + 1)` style manual advancement of
+    /// a simulated clock. Time must move via the scheduler's horizon
+    /// jumps (`next_tick`); ad-hoc increments outside the two engine
+    /// loops silently desynchronize the event heap (DESIGN.md §14).
+    ManualTimeAdvance,
     /// A `pcmap-lint:` directive that is malformed, names an unknown
     /// rule, or lacks a non-empty `reason = "..."`.
     BadSuppression,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 6] = [
         Rule::HashCollections,
         Rule::WallClock,
         Rule::AsNarrowing,
         Rule::FloatAccumulation,
+        Rule::ManualTimeAdvance,
         Rule::BadSuppression,
     ];
 
@@ -45,6 +51,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::AsNarrowing => "as-narrowing",
             Rule::FloatAccumulation => "float-accumulation",
+            Rule::ManualTimeAdvance => "manual-time-advance",
             Rule::BadSuppression => "bad-suppression",
         }
     }
@@ -85,6 +92,7 @@ impl CrateScope {
                 Rule::WallClock,
                 Rule::AsNarrowing,
                 Rule::FloatAccumulation,
+                Rule::ManualTimeAdvance,
                 Rule::BadSuppression,
             ],
             CrateScope::Profiling => &[
@@ -229,6 +237,10 @@ fn parse_allow_args(args: &str) -> Result<Rule, String> {
 const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
 const CLOCK_IDENTS: [&str; 3] = ["Instant", "SystemTime", "thread_rng"];
 const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+/// Simulated-clock identifiers guarded by the manual-advance rule. Only
+/// the *last* segment of the assigned chain is matched, so duration
+/// accumulators (`stats.busy_cycles += dt`) stay clean.
+const CLOCK_NAMES: [&str; 4] = ["now", "cpu_now", "current_cycle", "clock"];
 /// Identifier fragments that mark a value as cycle- or address-typed.
 const TIME_ADDR_MARKERS: [&str; 16] = [
     "cycle", "now", "done", "arrival", "wake", "deadline", "latency", "duration", "addr", "row",
@@ -329,6 +341,21 @@ pub fn lint_lines(path: &str, raw: &str, lines: &[LineView], scope: CrateScope) 
                 });
             }
         }
+        if rules.contains(&Rule::ManualTimeAdvance) && !allowed(Rule::ManualTimeAdvance, i) {
+            if let Some(chain) = manual_time_advance(code) {
+                diags.push(Diagnostic {
+                    rule: Rule::ManualTimeAdvance,
+                    path: path.to_owned(),
+                    line: i + 1,
+                    message: format!(
+                        "`{chain}` is advanced by hand; simulated time must move via the \
+                         scheduler's horizon jumps (`next_tick` / `next_wake`), not ad-hoc \
+                         increments (DESIGN.md §14 event-engine contract)"
+                    ),
+                    snippet: raw_at(i).trim().to_owned(),
+                });
+            }
+        }
         if rules.contains(&Rule::FloatAccumulation)
             && !allowed(Rule::FloatAccumulation, i)
             && float_accumulation(code)
@@ -391,6 +418,72 @@ fn narrowing_cast_source(code: &str) -> Option<String> {
     None
 }
 
+/// Walks an identifier chain (idents joined by `.` / `::`) backwards
+/// from byte offset `at` (skipping trailing whitespace first). Returns
+/// the chain and the offset where it starts.
+fn chain_before(code: &str, at: usize) -> (&str, usize) {
+    let bytes = code.as_bytes();
+    let mut j = at;
+    while j > 0 && (bytes[j - 1] as char).is_whitespace() {
+        j -= 1;
+    }
+    let end = j;
+    while j > 0 {
+        let c = bytes[j - 1] as char;
+        if lexer::is_ident_char(c) || c == '.' || c == ':' {
+            j -= 1;
+        } else {
+            break;
+        }
+    }
+    (&code[j..end], j)
+}
+
+/// If `code` advances a simulated clock by hand, returns the clock's
+/// identifier chain. Two forms are recognized:
+///
+/// 1. `<clock-chain> += ...` — compound increment of a clock variable.
+/// 2. `<clock> = Cycle(<clock>.0 + ...)` — re-binding a clock from its
+///    own counter plus an offset.
+///
+/// Jumping a clock to a *computed horizon* (`now = wake`, `now = next`,
+/// `self.now = self.now.max(t)`) is the sanctioned form and stays clean.
+fn manual_time_advance(code: &str) -> Option<String> {
+    let is_clock =
+        |chain: &str| CLOCK_NAMES.contains(&chain.rsplit(['.', ':']).next().unwrap_or_default());
+    // Form 1: `<clock-chain> += ...`.
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find("+=") {
+        let at = from + pos;
+        from = at + 2;
+        let (chain, _) = chain_before(code, at);
+        if !chain.is_empty() && is_clock(chain) {
+            return Some(chain.to_owned());
+        }
+    }
+    // Form 2: `<clock> = Cycle(<clock>.0 + ...)`.
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find("= Cycle(") {
+        let at = from + pos;
+        from = at + "= Cycle(".len();
+        // Reject compound/comparison operators (`+=`, `==`, `<=`, ...):
+        // only a plain assignment re-binds the clock.
+        if at > 0 && !(code.as_bytes()[at - 1] as char).is_whitespace() {
+            continue;
+        }
+        let (chain, _) = chain_before(code, at);
+        if chain.is_empty() || !is_clock(chain) {
+            continue;
+        }
+        let last = chain.rsplit(['.', ':']).next().unwrap_or_default();
+        let rhs = &code[at + "= Cycle(".len()..];
+        if rhs.contains(&format!("{last}.0")) && rhs.contains('+') {
+            return Some(chain.to_owned());
+        }
+    }
+    None
+}
+
 /// `+=` whose right-hand side shows float evidence: an `f32`/`f64`
 /// token, a float literal (`1.0`), or a cast to float. Only the RHS is
 /// scanned so `counts[w(&[1.0])] += 1` (integer bump, float index
@@ -444,6 +537,47 @@ mod tests {
         assert!(float_accumulation("total += 0.5;"));
         assert!(!float_accumulation("self.count += 1;"));
         assert!(!float_accumulation("let y: f64 = 1.0;"));
+    }
+
+    #[test]
+    fn manual_time_advance_catches_both_forms() {
+        // Compound increment of a clock, bare or through a field chain.
+        assert_eq!(manual_time_advance("now += 1;").as_deref(), Some("now"));
+        assert_eq!(
+            manual_time_advance("self.now += step;").as_deref(),
+            Some("self.now")
+        );
+        assert_eq!(
+            manual_time_advance("current_cycle += 1;").as_deref(),
+            Some("current_cycle")
+        );
+        // Re-binding a clock from its own counter plus an offset.
+        assert_eq!(
+            manual_time_advance("now = Cycle(now.0 + 1);").as_deref(),
+            Some("now")
+        );
+        assert_eq!(
+            manual_time_advance("self.now = Cycle(self.now.0 + step);").as_deref(),
+            Some("self.now")
+        );
+    }
+
+    #[test]
+    fn manual_time_advance_leaves_sanctioned_forms_clean() {
+        // Horizon jumps are the sanctioned way for time to move.
+        assert!(manual_time_advance("now = wake;").is_none());
+        assert!(manual_time_advance("now = next;").is_none());
+        assert!(manual_time_advance("self.now = self.now.max(cpu_now);").is_none());
+        // Initialization, and rebinding from a *different* value.
+        assert!(manual_time_advance("let mut now = Cycle(0);").is_none());
+        assert!(manual_time_advance("now = Cycle(next.0 + 1);").is_none());
+        // Duration accumulators are stats, not clocks.
+        assert!(manual_time_advance("stats.busy_cycles += dt;").is_none());
+        assert!(manual_time_advance("self.stats.retired += step;").is_none());
+        // Comparison, not assignment.
+        assert!(manual_time_advance("if t == Cycle(now.0 + 1) {").is_none());
+        // Deadlines derived from the clock are values, not the clock.
+        assert!(manual_time_advance("let deadline = Cycle(now.0 + budget);").is_none());
     }
 
     #[test]

@@ -59,6 +59,29 @@ fn float_accumulation_fixture_triggers() {
 }
 
 #[test]
+fn manual_time_advance_fixture_triggers() {
+    let src = include_str!("fixtures/manual_time_advance.rs.fixture");
+    let diags = lint_fixture("manual_time_advance.rs", src);
+    assert_eq!(lines_for(&diags, Rule::ManualTimeAdvance), vec![3, 4, 5, 6]);
+    assert_eq!(
+        diags.len(),
+        4,
+        "jumps, inits, deadlines, accumulators and the suppressed line \
+         must not fire: {diags:?}"
+    );
+}
+
+#[test]
+fn manual_time_advance_is_sim_facing_only() {
+    // The bench drivers and profiling harness keep their own little run
+    // loops; the clock-advance ban guards the simulation crates where
+    // the event heap's horizon contract is load-bearing.
+    let src = include_str!("fixtures/manual_time_advance.rs.fixture");
+    assert!(lint_source("tool.rs", src, CrateScope::Tooling).is_empty());
+    assert!(lint_source("prof.rs", src, CrateScope::Profiling).is_empty());
+}
+
+#[test]
 fn fault_injection_fixture_triggers_every_determinism_rule() {
     // `crates/faults` auto-scopes SimFacing, so a fault injector drawing
     // on OS entropy, the wall clock, or unordered maps is caught by the

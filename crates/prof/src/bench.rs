@@ -169,6 +169,25 @@ pub fn history_value(reports: &[BenchReport]) -> Value {
     )
 }
 
+/// Index for the next `BENCH_<n>.json` artifact.
+///
+/// `existing` holds the indices already parsed from the repo root (any
+/// order, gaps welcome); `taken` reports whether a candidate index is
+/// occupied on disk — covering files the directory scan missed (a
+/// pre-existing target must never be overwritten). The result is the
+/// first free index at or above 6 (the trajectory's historical start)
+/// that is also beyond every existing index.
+pub fn next_bench_index(existing: &[u64], taken: impl Fn(u64) -> bool) -> u64 {
+    let mut candidate = existing
+        .iter()
+        .max()
+        .map_or(6, |&hi| hi.saturating_add(1).max(6));
+    while taken(candidate) {
+        candidate += 1;
+    }
+    candidate
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,5 +1,6 @@
 //! The event-driven full-system simulation.
 
+use crate::engine::{Engine, EventHeap, TickSource};
 use pcmap_core::{build_controller, RollbackMode, SystemKind};
 use pcmap_cpu::core_model::{cpu_to_mem, mem_to_cpu, CoreAction, CoreModel};
 use pcmap_cpu::{RollbackModel, WorkOp};
@@ -385,6 +386,14 @@ pub struct System {
     /// Cores whose next progress comes from a read delivery, not their
     /// local clock.
     awaiting_delivery: Vec<bool>,
+    /// Per-core poll horizon: the memory cycle at which polling the core
+    /// can next change its state (`None` while it waits on a delivery or
+    /// is finished). Both engines honour it, so a core's clock advances
+    /// at exactly the same cycles either way.
+    core_next: Vec<Option<Cycle>>,
+    /// Cores that must be polled this epoch regardless of `core_next`
+    /// (set by read deliveries).
+    core_due: Vec<bool>,
     rollback: Vec<RollbackModel>,
     data_rng: Xoshiro256,
     next_req: u64,
@@ -475,6 +484,8 @@ impl System {
             streams,
             op_details: vec![None; n],
             awaiting_delivery: vec![false; n],
+            core_next: vec![Some(Cycle::ZERO); n],
+            core_due: vec![false; n],
             rollback,
             data_rng: Xoshiro256::new(0xDA7A),
             next_req: 0,
@@ -526,9 +537,15 @@ impl System {
         &mut self.ctrls
     }
 
-    /// Runs to completion serially and produces the report.
+    /// Runs to completion serially and produces the report. The engine
+    /// comes from `PCMAP_ENGINE` ([`Engine::from_env`], default event).
     pub fn run(self) -> RunReport {
-        self.run_engine(None)
+        self.run_engine(None, Engine::from_env())
+    }
+
+    /// Runs serially under an explicit [`Engine`] (differential testing).
+    pub fn run_with_engine(self, engine: Engine) -> RunReport {
+        self.run_engine(None, engine)
     }
 
     /// Runs to completion with intra-run channel parallelism: each memory
@@ -547,11 +564,22 @@ impl System {
     ///
     /// With a serial pool (`--jobs 1`) this takes exactly the serial path.
     pub fn run_parallel(self, pool: &mut Pool) -> RunReport {
-        self.run_engine(Some(pool))
+        self.run_engine(Some(pool), Engine::from_env())
     }
 
-    fn run_engine(mut self, mut pool: Option<&mut Pool>) -> RunReport {
+    /// Runs with channel parallelism under an explicit [`Engine`].
+    pub fn run_parallel_with_engine(self, pool: &mut Pool, engine: Engine) -> RunReport {
+        self.run_engine(Some(pool), engine)
+    }
+
+    fn run_engine(mut self, mut pool: Option<&mut Pool>, engine: Engine) -> RunReport {
         let mut now = Cycle(0);
+        // Event engine: heap of cached component horizons. Channel
+        // horizons come from `Controller::next_tick`, core horizons from
+        // `core_next`; both are exactly what the cycle engine re-scans
+        // every epoch, so the two engines jump to identical cycles.
+        let mut heap =
+            (engine == Engine::Event).then(|| EventHeap::new(self.ctrls.len(), self.cores.len()));
         // Scratch completion buffers, one per channel, reused each epoch.
         let mut epoch_out: Vec<Vec<Completion>> = Vec::new();
         epoch_out.resize_with(self.ctrls.len(), Vec::new);
@@ -623,16 +651,32 @@ impl System {
             if let Some(Reverse(d)) = self.deliveries.peek() {
                 next = next.min(d.when);
             }
-            for ctrl in &self.ctrls {
-                if let Some(w) = ctrl.next_wake(now) {
-                    next = next.min(w);
+            match heap.as_mut() {
+                Some(h) => {
+                    // Event engine: refresh changed horizons, then read
+                    // the heap minimum. `update` is a no-op for sources
+                    // whose horizon did not move this epoch.
+                    for (ch, ctrl) in self.ctrls.iter().enumerate() {
+                        h.update(TickSource::Channel(ch), ctrl.next_tick());
+                    }
+                    for (i, &t) in self.core_next.iter().enumerate() {
+                        h.update(TickSource::Core(i), t);
+                    }
+                    next = next.min(h.earliest());
                 }
-            }
-            for (i, core) in self.cores.iter().enumerate() {
-                if core.is_finished() || self.awaiting_delivery[i] {
-                    continue;
+                None => {
+                    // Cycle engine: re-scan every component.
+                    for ctrl in &self.ctrls {
+                        if let Some(w) = ctrl.next_wake(now) {
+                            next = next.min(w);
+                        }
+                    }
+                    for &t in &self.core_next {
+                        if let Some(t) = t {
+                            next = next.min(t);
+                        }
+                    }
                 }
-                next = next.min(cpu_to_mem(core.now(), &self.cfg.cpu));
             }
             if next == Cycle::MAX || next <= now {
                 self.crawl_steps += 1;
@@ -655,6 +699,7 @@ impl System {
                             .collect::<Vec<_>>(),
                     );
                 }
+                // pcmap-lint: allow(manual-time-advance, reason = "the engine crawl step itself: when no component publishes a horizon the loop single-steps")
                 now = Cycle(now.0 + 1);
             } else {
                 self.crawl_steps = 0;
@@ -680,6 +725,8 @@ impl System {
         let cpu_when = mem_to_cpu(d.when, &self.cfg.cpu);
         self.cores[d.core].read_returned(cpu_when);
         self.awaiting_delivery[d.core] = false;
+        // The returned data may unblock the core immediately.
+        self.core_due[d.core] = true;
         if d.failed {
             self.registry.add(self.m_failed, 1);
         }
@@ -736,6 +783,15 @@ impl System {
     fn poll_cores(&mut self, now: Cycle) {
         let cpu_now = mem_to_cpu(now, &self.cfg.cpu);
         for i in 0..self.cores.len() {
+            // Poll only when due: a poll advances the core's local clock
+            // (`CoreModel::poll` maxes it with `cpu_now`), so gating it
+            // identically in both engines is what keeps per-core stall
+            // accounting byte-identical between them.
+            if !(self.core_due[i] || self.core_next[i].is_some_and(|t| t <= now)) {
+                continue;
+            }
+            self.core_due[i] = false;
+            self.core_next[i] = None;
             loop {
                 if self.cores[i].needs_op() {
                     if self.issued_per_core[i] >= self.budget_per_core {
@@ -769,11 +825,16 @@ impl System {
                     }
                     CoreAction::BusyUntil(t) => {
                         if t > cpu_now {
+                            // Next poll that matters: the first memory
+                            // cycle at or past the burst's end.
+                            self.core_next[i] =
+                                Some(cpu_to_mem(t, &self.cfg.cpu).max(Cycle(now.0 + 1)));
                             break;
                         }
                         // The compute burst ended exactly now; loop to get
                         // the next op (needs_op branch above).
                         if !self.cores[i].needs_op() {
+                            self.core_next[i] = Some(Cycle(now.0 + 1));
                             break;
                         }
                     }
@@ -862,6 +923,10 @@ impl System {
                 } else {
                     self.cores[i].write_blocked(retry_cpu);
                 }
+                // The core's clock just advanced to its retry point; poll
+                // it again at the first memory cycle that reaches it.
+                self.core_next[i] =
+                    Some(cpu_to_mem(self.cores[i].now(), &self.cfg.cpu).max(Cycle(now.0 + 1)));
                 false
             }
         }
@@ -873,14 +938,14 @@ impl System {
     fn channels_due(&self, now: Cycle) -> usize {
         self.ctrls
             .iter()
-            .filter(|c| c.next_wake(now).is_some_and(|w| w <= now))
+            .filter(|c| c.next_tick().is_some_and(|w| w <= now))
             .count()
     }
 
-    fn finished(&self, now: Cycle) -> bool {
+    fn finished(&self, _now: Cycle) -> bool {
         self.cores.iter().all(|c| c.is_finished())
             && self.deliveries.is_empty()
-            && self.ctrls.iter().all(|c| c.next_wake(now).is_none())
+            && self.ctrls.iter().all(|c| c.next_tick().is_none())
     }
 
     /// Per-channel metric snapshots, each augmented with the channel's

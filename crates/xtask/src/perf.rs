@@ -237,7 +237,13 @@ pub fn perf(smoke: bool, alloc: bool) -> Result<(), String> {
     // 3. Write BENCH_<n>.json and compare against the prior trajectory
     // point. Regressions warn — they never fail the gate.
     let prior_files = existing_bench_files();
-    let bench_index = prior_files.last().map_or(6, |(idx, _)| (idx + 1).max(6));
+    let prior_indices: Vec<u64> = prior_files.iter().map(|&(idx, _)| idx).collect();
+    // Gap-tolerant and overwrite-proof: beyond every scanned index AND
+    // skipping any index whose file exists anyway (partial scans, files
+    // the prefix parse missed).
+    let bench_index = pcmap_prof::bench::next_bench_index(&prior_indices, |n| {
+        std::path::Path::new(&format!("BENCH_{n}.json")).exists()
+    });
     let report = BenchReport {
         bench_index,
         mode: mode.to_owned(),

@@ -1,0 +1,55 @@
+//! Index selection for `BENCH_<n>.json` artifacts.
+//!
+//! `cargo xtask perf` writes one trajectory point per PR; the index
+//! picker must tolerate gaps in the sequence and must never pick an
+//! index whose file already exists (overwriting a committed trajectory
+//! point rewrites perf history).
+
+use pcmap_prof::bench::next_bench_index;
+
+/// `taken` closure over a fixed occupied set.
+fn occupied(set: &[u64]) -> impl Fn(u64) -> bool + '_ {
+    move |n| set.contains(&n)
+}
+
+#[test]
+fn empty_history_starts_at_six() {
+    assert_eq!(next_bench_index(&[], occupied(&[])), 6);
+}
+
+#[test]
+fn advances_past_the_highest_existing_index() {
+    assert_eq!(next_bench_index(&[6, 7], occupied(&[6, 7])), 8);
+}
+
+#[test]
+fn tolerates_gaps_in_the_sequence() {
+    // BENCH_7 was never written (or was deleted); the next point still
+    // goes after the highest, not into the hole — history stays ordered.
+    assert_eq!(next_bench_index(&[6, 8], occupied(&[6, 8])), 9);
+}
+
+#[test]
+fn low_indices_never_pull_the_trajectory_below_its_start() {
+    assert_eq!(next_bench_index(&[2, 3], occupied(&[2, 3])), 6);
+}
+
+#[test]
+fn never_overwrites_a_pre_existing_target_file() {
+    // The scan missed BENCH_8.json (say, an unreadable dir entry or an
+    // odd filename casing the prefix parse skipped) but the file exists:
+    // the picker must step over it instead of overwriting.
+    assert_eq!(next_bench_index(&[6, 7], occupied(&[6, 7, 8])), 9);
+    // Even a run of occupied candidates is skipped.
+    assert_eq!(next_bench_index(&[6], occupied(&[6, 7, 8, 9])), 10);
+}
+
+#[test]
+fn unsorted_input_is_fine() {
+    assert_eq!(next_bench_index(&[9, 6, 7], occupied(&[6, 7, 9])), 10);
+}
+
+#[test]
+fn saturates_instead_of_overflowing() {
+    assert_eq!(next_bench_index(&[u64::MAX], occupied(&[])), u64::MAX);
+}
