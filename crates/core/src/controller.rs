@@ -63,6 +63,7 @@ pub struct PcmapController {
     core: CtrlCore,
     kind: SystemKind,
     layout: Layout,
+    // pcmap-lint: allow(missed-wake, reason = "every site where an in-flight write blocks a candidate feeds the blocker's data_end into note_hint/retry_hint, which compute_wake reads; the pass cannot see that value-level relay")
     inflight: Vec<InflightWrite>,
     /// Extra cycles charged before any overlapped issue (`Status` command);
     /// settable to 0 for the status-poll ablation.
@@ -76,6 +77,7 @@ pub struct PcmapController {
     /// every phase stays RoW-compatible — at the cost of write latency.
     split_writes_for_row: bool,
     /// Writes currently being issued word-by-word under the split mode.
+    // pcmap-lint: allow(missed-wake, reason = "a split write stays resident in its write queue until every partial issues, and compute_wake reads queue occupancy; this list only de-duplicates the split bookkeeping")
     split_in_progress: Vec<ReqId>,
 }
 

@@ -126,6 +126,7 @@ impl ProtocolChecker {
     /// Checker configured from the environment: strict in debug builds
     /// and under `PCMAP_CHECK` (unless `PCMAP_CHECK=0`).
     pub fn from_env(t: &TimingParams) -> Self {
+        // pcmap-lint: allow(nondet-taint, reason = "PCMAP_CHECK only toggles assertion strictness; it gates whether violations panic, never what schedule the controller produces")
         let on = match std::env::var("PCMAP_CHECK") {
             Ok(v) => v != "0",
             Err(_) => cfg!(debug_assertions),

@@ -296,4 +296,52 @@ mod tests {
         assert!(find_ident("a.HashMap", "HashMap").is_some());
         assert!(find_ident("", "HashMap").is_none());
     }
+
+    #[test]
+    fn multi_hash_raw_strings_are_blanked() {
+        // A `"#` inside must not end an `r##"..."##` string.
+        let v = code_of("let s = r##\"quote \"# Instant::now() \"# here\"##; Instant");
+        assert_eq!(v[0].matches("Instant").count(), 1);
+        assert!(find_ident(&v[0], "Instant").is_some());
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_span_lines() {
+        let v = code_of("let s = r##\"line one HashMap\nline two \"# HashMap\n\"##; HashMap");
+        assert!(!v[0].contains("HashMap"));
+        assert!(!v[1].contains("HashMap"));
+        assert!(find_ident(&v[2], "HashMap").is_some());
+    }
+
+    #[test]
+    fn byte_string_literals_are_blanked() {
+        let v = code_of("let b = b\"SystemTime\"; SystemTime");
+        assert_eq!(v[0].matches("SystemTime").count(), 1);
+        let v = code_of("let b = br#\"thread_rng\"#; thread_rng");
+        assert_eq!(v[0].matches("thread_rng").count(), 1);
+    }
+
+    #[test]
+    fn byte_char_literals_are_blanked() {
+        let v = code_of("let c = b'H'; HashSet");
+        assert!(find_ident(&v[0], "HashSet").is_some());
+        assert!(!v[0].contains("b'H'"));
+    }
+
+    #[test]
+    fn nested_block_comments_with_quote_chars() {
+        // The `"` inside the nested comment must not open a string that
+        // would swallow the rest of the file.
+        let v = strip("a /* outer \" /* inner ' */ \" still */ HashMap\nInstant");
+        assert!(find_ident(&v[0].code, "HashMap").is_some());
+        assert!(find_ident(&v[1].code, "Instant").is_some());
+        assert!(v[0].comments[0].contains("inner"));
+    }
+
+    #[test]
+    fn block_comment_quote_then_code_string() {
+        // A string *after* a quote-bearing comment still blanks.
+        let v = code_of("/* has \" quote */ let s = \"HashMap\"; HashMap");
+        assert_eq!(v[0].matches("HashMap").count(), 1);
+    }
 }

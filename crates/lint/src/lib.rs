@@ -17,15 +17,25 @@
 //! |                      | outside the engine loops (DESIGN.md §14)             |
 //! | `bad-suppression`    | malformed / reason-less `pcmap-lint:` directives     |
 //!
+//! The `pcmap-analyze` binary layers the semantic passes of
+//! [`analyze`] (DESIGN.md §15) on top: `missed-wake`,
+//! `merge-completeness`, `nondet-taint`, `undocumented-unsafe`, and
+//! `dead-allow`.
+//!
 //! Suppress one finding with
 //! `// pcmap-lint: allow(<rule>, reason = "...")` on the same line or
 //! the line above, or a whole file with
 //! `// pcmap-lint: allow-file(<rule>, reason = "...")`.
 
+pub mod analyze;
+pub mod ast;
 pub mod lexer;
 pub mod rules;
+pub mod suppress;
 
+pub use analyze::{analyze_sources, analyze_workspace};
 pub use rules::{CrateScope, Diagnostic, Rule};
+pub use suppress::DirectiveSet;
 
 use std::fs;
 use std::io;
@@ -40,9 +50,14 @@ const TOOLING_CRATES: [&str; 2] = ["bench", "lint"];
 /// Vendored dependency shims, exempt from linting.
 const VENDORED_CRATES: [&str; 2] = ["criterion", "proptest"];
 
-/// Result of linting the whole workspace.
+/// Result of linting (or analyzing) the whole workspace.
 #[derive(Debug)]
 pub struct Report {
+    /// `"pcmap-lint"` (token rules) or `"pcmap-analyze"` (token rules +
+    /// semantic passes + dead-waiver detection).
+    pub tool: &'static str,
+    /// Report schema version.
+    pub version: u32,
     pub files_scanned: usize,
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -56,8 +71,8 @@ impl Report {
     /// this crate by design).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"tool\": \"pcmap-lint\",\n");
-        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"tool\": {},\n", json_str(self.tool)));
+        out.push_str(&format!("  \"version\": {},\n", self.version));
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
         out.push_str(&format!(
             "  \"diagnostic_count\": {},\n",
@@ -122,15 +137,22 @@ pub fn scope_for(rel: &Path) -> CrateScope {
 }
 
 /// Lints one source string under the given scope (fixture-test entry
-/// point; `path` is only used to label diagnostics).
+/// point; `path` is only used to label diagnostics). Token rules only —
+/// the semantic passes live in [`analyze`].
 pub fn lint_source(path: &str, src: &str, scope: CrateScope) -> Vec<Diagnostic> {
     let lines = lexer::strip(src);
-    rules::lint_lines(path, src, &lines, scope)
+    let mut directives = suppress::DirectiveSet::parse(path, src, &lines);
+    let mut diags = directives.apply(rules::content_diags(path, src, &lines, scope));
+    if scope.rules().contains(&Rule::BadSuppression) {
+        diags.append(&mut directives.bad);
+    }
+    diags.sort_by_key(|a| (a.line, a.rule));
+    diags
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted by path so the
 /// walk (and therefore the report) is deterministic.
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
     entries.sort_by_key(|e| e.path());
     for e in entries {
@@ -169,6 +191,8 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
     }
     diagnostics.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     Ok(Report {
+        tool: "pcmap-lint",
+        version: 1,
         files_scanned: files.len(),
         diagnostics,
     })
@@ -214,6 +238,8 @@ mod tests {
     #[test]
     fn report_json_shape() {
         let report = Report {
+            tool: "pcmap-lint",
+            version: 1,
             files_scanned: 2,
             diagnostics: vec![Diagnostic {
                 rule: Rule::HashCollections,

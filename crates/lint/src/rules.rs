@@ -32,16 +32,43 @@ pub enum Rule {
     /// A `pcmap-lint:` directive that is malformed, names an unknown
     /// rule, or lacks a non-empty `reason = "..."`.
     BadSuppression,
+    /// Semantic pass (pcmap-analyze): a field mutated *and* read on the
+    /// `step()`/`schedule()`/`resolve()` paths of a type exposing a
+    /// `next_tick()` horizon, yet absent from the horizon computation —
+    /// a readiness change through it can miss its wake and silently
+    /// diverge `Engine::Event` from `Engine::Cycle` (DESIGN.md §14).
+    MissedWake,
+    /// Semantic pass (pcmap-analyze): a field of a mergeable snapshot
+    /// struct that `merge()` or `to_json()` drops — data silently lost
+    /// at `--jobs > 1`, breaking the DESIGN.md §9 determinism contract.
+    MergeCompleteness,
+    /// Semantic pass (pcmap-analyze): a sim-facing function that reads a
+    /// wall-clock/env/OS-entropy source, or launders one through a
+    /// same-crate helper the token-level `wall-clock` ban cannot see.
+    NondetTaint,
+    /// Semantic pass (pcmap-analyze): an `unsafe` block, fn, or impl
+    /// without a `// SAFETY:` comment documenting the invariant that
+    /// makes it sound.
+    UndocumentedUnsafe,
+    /// Semantic pass (pcmap-analyze): an `allow(...)` directive that no
+    /// longer suppresses any diagnostic — stale waivers mask future
+    /// regressions.
+    DeadAllow,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 6] = [
+    pub const ALL: [Rule; 11] = [
         Rule::HashCollections,
         Rule::WallClock,
         Rule::AsNarrowing,
         Rule::FloatAccumulation,
         Rule::ManualTimeAdvance,
         Rule::BadSuppression,
+        Rule::MissedWake,
+        Rule::MergeCompleteness,
+        Rule::NondetTaint,
+        Rule::UndocumentedUnsafe,
+        Rule::DeadAllow,
     ];
 
     /// Kebab-case name used in diagnostics and `allow(...)` directives.
@@ -53,6 +80,11 @@ impl Rule {
             Rule::FloatAccumulation => "float-accumulation",
             Rule::ManualTimeAdvance => "manual-time-advance",
             Rule::BadSuppression => "bad-suppression",
+            Rule::MissedWake => "missed-wake",
+            Rule::MergeCompleteness => "merge-completeness",
+            Rule::NondetTaint => "nondet-taint",
+            Rule::UndocumentedUnsafe => "undocumented-unsafe",
+            Rule::DeadAllow => "dead-allow",
         }
     }
 
@@ -106,6 +138,30 @@ impl CrateScope {
         }
     }
 
+    /// The pcmap-analyze semantic passes that apply to this scope.
+    ///
+    /// The horizon, merge, and taint passes guard simulation semantics,
+    /// so they run only on sim-facing crates; the `// SAFETY:` and
+    /// dead-waiver hygiene passes run everywhere except the vendored
+    /// shims. [`Rule::DeadAllow`] is evaluated workspace-side (it needs
+    /// every other rule's suppression usage), but listing it here keeps
+    /// the scope table honest.
+    pub fn passes(self) -> &'static [Rule] {
+        match self {
+            CrateScope::SimFacing => &[
+                Rule::MissedWake,
+                Rule::MergeCompleteness,
+                Rule::NondetTaint,
+                Rule::UndocumentedUnsafe,
+                Rule::DeadAllow,
+            ],
+            CrateScope::Profiling | CrateScope::Tooling => {
+                &[Rule::UndocumentedUnsafe, Rule::DeadAllow]
+            }
+            CrateScope::Vendored => &[],
+        }
+    }
+
     pub fn name(self) -> &'static str {
         match self {
             CrateScope::SimFacing => "sim-facing",
@@ -140,100 +196,6 @@ impl Diagnostic {
     }
 }
 
-/// A parsed `pcmap-lint: allow(...)` directive.
-#[derive(Debug)]
-struct Suppression {
-    rule: Rule,
-    /// 0-based line the directive sits on; covers that line and the
-    /// next. `None` for `allow-file`.
-    line: Option<usize>,
-}
-
-/// Parses the directives in one comment. Returns the suppressions and
-/// any `bad-suppression` diagnostics.
-fn parse_directives(
-    comment: &str,
-    line0: usize,
-    path: &str,
-    raw_line: &str,
-) -> (Vec<Suppression>, Vec<Diagnostic>) {
-    let mut sups = Vec::new();
-    let mut diags = Vec::new();
-    // A directive must *start* the comment (after doc markers), so
-    // prose that merely mentions `pcmap-lint:` never parses as one.
-    let lead = comment.trim_start_matches(['/', '!', '*', ' ', '\t']);
-    if !lead.starts_with("pcmap-lint:") {
-        return (sups, diags);
-    }
-    let mut rest = lead;
-    while let Some(pos) = rest.find("pcmap-lint:") {
-        let after = &rest[pos + "pcmap-lint:".len()..];
-        let body = after.trim_start();
-        let (file_wide, args) = if let Some(a) = body.strip_prefix("allow-file(") {
-            (true, a)
-        } else if let Some(a) = body.strip_prefix("allow(") {
-            (false, a)
-        } else {
-            diags.push(Diagnostic {
-                rule: Rule::BadSuppression,
-                path: path.to_owned(),
-                line: line0 + 1,
-                message: "pcmap-lint directive must be `allow(<rule>, reason = \"...\")` \
-                          or `allow-file(<rule>, reason = \"...\")`"
-                    .to_owned(),
-                snippet: raw_line.trim().to_owned(),
-            });
-            rest = after;
-            continue;
-        };
-        match parse_allow_args(args) {
-            Ok(rule) => sups.push(Suppression {
-                rule,
-                line: if file_wide { None } else { Some(line0) },
-            }),
-            Err(why) => diags.push(Diagnostic {
-                rule: Rule::BadSuppression,
-                path: path.to_owned(),
-                line: line0 + 1,
-                message: why,
-                snippet: raw_line.trim().to_owned(),
-            }),
-        }
-        rest = after;
-    }
-    (sups, diags)
-}
-
-/// Parses `<rule>, reason = "<non-empty>")…` after the opening paren.
-fn parse_allow_args(args: &str) -> Result<Rule, String> {
-    let close = args
-        .find(')')
-        .ok_or_else(|| "unterminated allow(...) directive".to_owned())?;
-    let inner = &args[..close];
-    let mut parts = inner.splitn(2, ',');
-    let rule_name = parts.next().unwrap_or("").trim();
-    let rule = Rule::from_name(rule_name)
-        .ok_or_else(|| format!("unknown lint rule `{rule_name}` in allow(...)"))?;
-    let reason_part = parts
-        .next()
-        .map(str::trim)
-        .ok_or_else(|| format!("allow({rule_name}) is missing `reason = \"...\"`",))?;
-    let value = reason_part
-        .strip_prefix("reason")
-        .map(str::trim_start)
-        .and_then(|s| s.strip_prefix('='))
-        .map(str::trim_start)
-        .ok_or_else(|| format!("allow({rule_name}) is missing `reason = \"...\"`",))?;
-    let quoted = value
-        .strip_prefix('"')
-        .and_then(|s| s.rfind('"').map(|e| &s[..e]))
-        .ok_or_else(|| format!("allow({rule_name}) reason must be a quoted string"))?;
-    if quoted.trim().is_empty() {
-        return Err(format!("allow({rule_name}) reason must not be empty"));
-    }
-    Ok(rule)
-}
-
 const HASH_TYPES: [&str; 2] = ["HashMap", "HashSet"];
 const CLOCK_IDENTS: [&str; 3] = ["Instant", "SystemTime", "thread_rng"];
 const NARROW_TARGETS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
@@ -247,49 +209,30 @@ const TIME_ADDR_MARKERS: [&str; 16] = [
     "col", "line", "bank", "start", "end", "tick",
 ];
 
-/// Lints one already-stripped file.
-pub fn lint_lines(path: &str, raw: &str, lines: &[LineView], scope: CrateScope) -> Vec<Diagnostic> {
+/// Runs the token-level content rules over one already-stripped file,
+/// *without* applying suppressions — the caller filters the result
+/// through [`crate::suppress::DirectiveSet::apply`] so directive usage
+/// can be tracked for dead-waiver detection.
+pub fn content_diags(
+    path: &str,
+    raw: &str,
+    lines: &[LineView],
+    scope: CrateScope,
+) -> Vec<Diagnostic> {
     let rules = scope.rules();
     if rules.is_empty() {
         return Vec::new();
     }
     let raw_lines: Vec<&str> = raw.lines().collect();
     let raw_at = |i: usize| raw_lines.get(i).copied().unwrap_or("");
-
-    // Pass 1: collect suppressions (+ bad-suppression findings).
-    let mut file_allowed: Vec<Rule> = Vec::new();
-    // (rule, 0-based line) pairs; a directive covers its own line and
-    // the next, so `// pcmap-lint: allow(...)` can sit above the code.
-    let mut line_allowed: Vec<(Rule, usize)> = Vec::new();
     let mut diags: Vec<Diagnostic> = Vec::new();
-    for (i, lv) in lines.iter().enumerate() {
-        for comment in &lv.comments {
-            let (sups, bad) = parse_directives(comment, i, path, raw_at(i));
-            for s in sups {
-                match s.line {
-                    None => file_allowed.push(s.rule),
-                    Some(l) => {
-                        line_allowed.push((s.rule, l));
-                        line_allowed.push((s.rule, l + 1));
-                    }
-                }
-            }
-            if rules.contains(&Rule::BadSuppression) {
-                diags.extend(bad);
-            }
-        }
-    }
-    let allowed = |rule: Rule, line0: usize| {
-        file_allowed.contains(&rule) || line_allowed.contains(&(rule, line0))
-    };
 
-    // Pass 2: run the content rules over the stripped code.
     for (i, lv) in lines.iter().enumerate() {
         let code = lv.code.as_str();
         if code.trim().is_empty() {
             continue;
         }
-        if rules.contains(&Rule::HashCollections) && !allowed(Rule::HashCollections, i) {
+        if rules.contains(&Rule::HashCollections) {
             for ty in HASH_TYPES {
                 if lexer::find_ident(code, ty).is_some() {
                     let ordered = if ty == "HashMap" {
@@ -311,7 +254,7 @@ pub fn lint_lines(path: &str, raw: &str, lines: &[LineView], scope: CrateScope) 
                 }
             }
         }
-        if rules.contains(&Rule::WallClock) && !allowed(Rule::WallClock, i) {
+        if rules.contains(&Rule::WallClock) {
             for ident in CLOCK_IDENTS {
                 if lexer::find_ident(code, ident).is_some() {
                     diags.push(Diagnostic {
@@ -327,7 +270,7 @@ pub fn lint_lines(path: &str, raw: &str, lines: &[LineView], scope: CrateScope) 
                 }
             }
         }
-        if rules.contains(&Rule::AsNarrowing) && !allowed(Rule::AsNarrowing, i) {
+        if rules.contains(&Rule::AsNarrowing) {
             if let Some(chain) = narrowing_cast_source(code) {
                 diags.push(Diagnostic {
                     rule: Rule::AsNarrowing,
@@ -341,7 +284,7 @@ pub fn lint_lines(path: &str, raw: &str, lines: &[LineView], scope: CrateScope) 
                 });
             }
         }
-        if rules.contains(&Rule::ManualTimeAdvance) && !allowed(Rule::ManualTimeAdvance, i) {
+        if rules.contains(&Rule::ManualTimeAdvance) {
             if let Some(chain) = manual_time_advance(code) {
                 diags.push(Diagnostic {
                     rule: Rule::ManualTimeAdvance,
@@ -356,10 +299,7 @@ pub fn lint_lines(path: &str, raw: &str, lines: &[LineView], scope: CrateScope) 
                 });
             }
         }
-        if rules.contains(&Rule::FloatAccumulation)
-            && !allowed(Rule::FloatAccumulation, i)
-            && float_accumulation(code)
-        {
+        if rules.contains(&Rule::FloatAccumulation) && float_accumulation(code) {
             diags.push(Diagnostic {
                 rule: Rule::FloatAccumulation,
                 path: path.to_owned(),
@@ -507,8 +447,7 @@ mod tests {
     use super::*;
 
     fn lint_sim(src: &str) -> Vec<Diagnostic> {
-        let lines = crate::lexer::strip(src);
-        lint_lines("test.rs", src, &lines, CrateScope::SimFacing)
+        crate::lint_source("test.rs", src, CrateScope::SimFacing)
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Suppression directives: parsing, application, and dead-waiver
+//! detection.
+//!
+//! A directive is a comment of the form
+//! `pcmap-lint: allow(<rule>, reason = "...")` (covers its own line and
+//! the next) or `pcmap-lint: allow-file(<rule>, reason = "...")`
+//! (covers the whole file). Directives must *start* their comment, so
+//! prose that merely mentions `pcmap-lint:` never parses as one.
+//!
+//! [`DirectiveSet::apply`] filters a diagnostic batch and marks every
+//! directive that absorbed at least one finding as *used*; the analyzer
+//! reports the rest as [`Rule::DeadAllow`] so stale waivers cannot mask
+//! future regressions.
+
+use crate::lexer::LineView;
+use crate::rules::{Diagnostic, Rule};
+
+/// One parsed `allow(...)` / `allow-file(...)` directive.
+#[derive(Debug)]
+pub struct Directive {
+    pub rule: Rule,
+    /// 0-based line the directive sits on.
+    pub at: usize,
+    /// `false` for `allow-file`, which covers every line.
+    pub line_scoped: bool,
+    /// Set once the directive has absorbed at least one diagnostic.
+    pub used: bool,
+}
+
+impl Directive {
+    /// Whether this directive covers `(rule, line0)`: the directive's
+    /// own line and the next for line-scoped allows, anywhere for
+    /// `allow-file`.
+    fn covers(&self, rule: Rule, line0: usize) -> bool {
+        self.rule == rule && (!self.line_scoped || line0 == self.at || line0 == self.at + 1)
+    }
+}
+
+/// All directives of one source file, plus the malformed ones
+/// ([`Rule::BadSuppression`] findings).
+#[derive(Debug, Default)]
+pub struct DirectiveSet {
+    pub directives: Vec<Directive>,
+    pub bad: Vec<Diagnostic>,
+}
+
+impl DirectiveSet {
+    /// Parses every directive in the file's comments.
+    pub fn parse(path: &str, raw: &str, lines: &[LineView]) -> Self {
+        let raw_lines: Vec<&str> = raw.lines().collect();
+        let raw_at = |i: usize| raw_lines.get(i).copied().unwrap_or("");
+        let mut set = DirectiveSet::default();
+        for (i, lv) in lines.iter().enumerate() {
+            for comment in &lv.comments {
+                parse_comment(comment, i, path, raw_at(i), &mut set);
+            }
+        }
+        set
+    }
+
+    /// Marks the first directive covering `(rule, line0)` used and
+    /// returns whether one exists.
+    pub fn allow(&mut self, rule: Rule, line0: usize) -> bool {
+        let mut hit = false;
+        for d in &mut self.directives {
+            if d.covers(rule, line0) {
+                d.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Whether a directive covers `(rule, line0)`, without marking it.
+    pub fn would_allow(&self, rule: Rule, line0: usize) -> bool {
+        self.directives.iter().any(|d| d.covers(rule, line0))
+    }
+
+    /// Filters `diags`, dropping every suppressed finding and marking
+    /// the absorbing directives used.
+    pub fn apply(&mut self, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+        diags
+            .into_iter()
+            .filter(|d| !self.allow(d.rule, d.line.saturating_sub(1)))
+            .collect()
+    }
+
+    /// [`Rule::DeadAllow`] findings for every directive that absorbed
+    /// nothing. Call after every pass has run and been
+    /// [`apply`](Self::apply)-filtered.
+    pub fn dead(&self, path: &str, raw: &str) -> Vec<Diagnostic> {
+        let raw_lines: Vec<&str> = raw.lines().collect();
+        self.directives
+            .iter()
+            .filter(|d| !d.used && d.rule != Rule::DeadAllow)
+            .map(|d| Diagnostic {
+                rule: Rule::DeadAllow,
+                path: path.to_owned(),
+                line: d.at + 1,
+                message: format!(
+                    "allow({}) suppresses nothing here — remove the stale waiver \
+                     (or re-point it at the diagnostic it was written for)",
+                    d.rule.name()
+                ),
+                snippet: raw_lines.get(d.at).copied().unwrap_or("").trim().to_owned(),
+            })
+            .collect()
+    }
+}
+
+/// Parses the directives in one comment into `set`.
+fn parse_comment(comment: &str, line0: usize, path: &str, raw_line: &str, set: &mut DirectiveSet) {
+    // A directive must *start* the comment (after doc markers).
+    let lead = comment.trim_start_matches(['/', '!', '*', ' ', '\t']);
+    if !lead.starts_with("pcmap-lint:") {
+        return;
+    }
+    let mut rest = lead;
+    while let Some(pos) = rest.find("pcmap-lint:") {
+        let after = &rest[pos + "pcmap-lint:".len()..];
+        let body = after.trim_start();
+        let (file_wide, args) = if let Some(a) = body.strip_prefix("allow-file(") {
+            (true, a)
+        } else if let Some(a) = body.strip_prefix("allow(") {
+            (false, a)
+        } else {
+            set.bad.push(Diagnostic {
+                rule: Rule::BadSuppression,
+                path: path.to_owned(),
+                line: line0 + 1,
+                message: "pcmap-lint directive must be `allow(<rule>, reason = \"...\")` \
+                          or `allow-file(<rule>, reason = \"...\")`"
+                    .to_owned(),
+                snippet: raw_line.trim().to_owned(),
+            });
+            rest = after;
+            continue;
+        };
+        match parse_allow_args(args) {
+            Ok(rule) => set.directives.push(Directive {
+                rule,
+                at: line0,
+                line_scoped: !file_wide,
+                used: false,
+            }),
+            Err(why) => set.bad.push(Diagnostic {
+                rule: Rule::BadSuppression,
+                path: path.to_owned(),
+                line: line0 + 1,
+                message: why,
+                snippet: raw_line.trim().to_owned(),
+            }),
+        }
+        rest = after;
+    }
+}
+
+/// Parses `<rule>, reason = "<non-empty>")…` after the opening paren.
+/// The closing paren is found outside quotes, so a reason may itself
+/// contain parentheses.
+fn parse_allow_args(args: &str) -> Result<Rule, String> {
+    let mut in_quotes = false;
+    let close = args
+        .char_indices()
+        .find_map(|(i, c)| match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                None
+            }
+            ')' if !in_quotes => Some(i),
+            _ => None,
+        })
+        .ok_or_else(|| "unterminated allow(...) directive".to_owned())?;
+    let inner = &args[..close];
+    let mut parts = inner.splitn(2, ',');
+    let rule_name = parts.next().unwrap_or("").trim();
+    let rule = Rule::from_name(rule_name)
+        .ok_or_else(|| format!("unknown lint rule `{rule_name}` in allow(...)"))?;
+    let reason_part = parts
+        .next()
+        .map(str::trim)
+        .ok_or_else(|| format!("allow({rule_name}) is missing `reason = \"...\"`",))?;
+    let value = reason_part
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|s| s.strip_prefix('='))
+        .map(str::trim_start)
+        .ok_or_else(|| format!("allow({rule_name}) is missing `reason = \"...\"`",))?;
+    let quoted = value
+        .strip_prefix('"')
+        .and_then(|s| s.rfind('"').map(|e| &s[..e]))
+        .ok_or_else(|| format!("allow({rule_name}) reason must be a quoted string"))?;
+    if quoted.trim().is_empty() {
+        return Err(format!("allow({rule_name}) reason must not be empty"));
+    }
+    Ok(rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn parse(src: &str) -> DirectiveSet {
+        DirectiveSet::parse("t.rs", src, &lexer::strip(src))
+    }
+
+    #[test]
+    fn line_directive_covers_own_and_next_line() {
+        let src = "// pcmap-lint: allow(wall-clock, reason = \"x\")\nlet a = 1;\nlet b = 2;\n";
+        let set = parse(src);
+        assert!(set.would_allow(Rule::WallClock, 0));
+        assert!(set.would_allow(Rule::WallClock, 1));
+        assert!(!set.would_allow(Rule::WallClock, 2));
+        assert!(!set.would_allow(Rule::HashCollections, 1));
+    }
+
+    #[test]
+    fn file_directive_covers_everything() {
+        let src = "// pcmap-lint: allow-file(wall-clock, reason = \"x\")\n\n\nlet a = 1;\n";
+        let set = parse(src);
+        assert!(set.would_allow(Rule::WallClock, 3));
+    }
+
+    #[test]
+    fn apply_marks_used_and_dead_reports_the_rest() {
+        let src = "// pcmap-lint: allow(wall-clock, reason = \"x\")\n\
+                   // pcmap-lint: allow(hash-collections, reason = \"y\")\n";
+        let mut set = parse(src);
+        let kept = set.apply(vec![Diagnostic {
+            rule: Rule::WallClock,
+            path: "t.rs".into(),
+            line: 1,
+            message: "m".into(),
+            snippet: "s".into(),
+        }]);
+        assert!(kept.is_empty());
+        let dead = set.dead("t.rs", src);
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].rule, Rule::DeadAllow);
+        assert_eq!(dead[0].line, 2);
+        assert!(dead[0].message.contains("hash-collections"));
+    }
+
+    #[test]
+    fn malformed_directives_are_bad_suppressions() {
+        let set = parse("// pcmap-lint: allow(no-such-rule, reason = \"x\")\n");
+        assert_eq!(set.bad.len(), 1);
+        assert!(set.directives.is_empty());
+    }
+
+    #[test]
+    fn reason_may_contain_parentheses() {
+        let set =
+            parse("// pcmap-lint: allow(wall-clock, reason = \"sized (not timed) by the host\")\n");
+        assert!(set.bad.is_empty(), "{:?}", set.bad);
+        assert_eq!(set.directives.len(), 1);
+        assert!(set.would_allow(Rule::WallClock, 1));
+    }
+}

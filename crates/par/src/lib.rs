@@ -281,6 +281,7 @@ impl Drop for Scope<'_, '_> {
 /// to a positive integer. CLI `--jobs` flags take precedence over this.
 #[must_use]
 pub fn env_jobs() -> Option<usize> {
+    // pcmap-lint: allow(nondet-taint, reason = "PCMAP_JOBS only sizes the worker pool; the DESIGN.md §9 contract (enforced by par_equiv) makes results byte-identical at any job count")
     std::env::var("PCMAP_JOBS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())

@@ -40,7 +40,12 @@ impl CountingAlloc {
     }
 }
 
+// SAFETY: every method delegates verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the added atomic counters never touch the
+// returned memory and cannot allocate (so no reentrancy).
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: `layout` is forwarded unmodified to `System.alloc`; the
+    // caller's layout obligations transfer directly.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let p = System.alloc(layout);
         if !p.is_null() {
@@ -49,11 +54,17 @@ unsafe impl GlobalAlloc for CountingAlloc {
         p
     }
 
+    // SAFETY: `ptr`/`layout` come from a matching `alloc` on this same
+    // allocator (the `GlobalAlloc` contract) and are forwarded unmodified
+    // to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         Self::on_dealloc(layout.size());
     }
 
+    // SAFETY: `ptr`/`layout` obey the same matching-allocation contract
+    // as `dealloc`, and `new_size` is forwarded unmodified; counter
+    // updates happen only after `System.realloc` succeeds.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let p = System.realloc(ptr, layout, new_size);
         if !p.is_null() {

@@ -36,6 +36,7 @@ impl Engine {
     /// (`cycle` or `event`); unset or empty means [`Engine::Event`].
     #[must_use]
     pub fn from_env() -> Self {
+        // pcmap-lint: allow(nondet-taint, reason = "PCMAP_ENGINE selects between the two engines whose equivalence the pardiff/differential suites prove; either choice yields byte-identical results")
         match std::env::var("PCMAP_ENGINE") {
             Ok(s) if !s.is_empty() => s
                 .parse()

@@ -2,9 +2,10 @@
 //! workspace binary that shells out to cargo).
 //!
 //! ```text
-//! cargo xtask ci       # fmt --check, lint, clippy -D warnings, test, check, pardiff, soak, explain, perf --smoke
+//! cargo xtask ci       # fmt --check, lint, analyze, clippy -D warnings, test, check, pardiff, soak, explain, perf --smoke
 //! cargo xtask fmt      # rustfmt the whole tree
 //! cargo xtask lint     # pcmap-lint determinism/hygiene pass -> results/lint.json
+//! cargo xtask analyze  # pcmap-analyze semantic passes -> results/analyze.json
 //! cargo xtask clippy   # clippy -D warnings only
 //! cargo xtask check    # PCMAP_CHECK=1 release experiment runs (protocol invariants)
 //! cargo xtask pardiff  # serial vs parallel JSON byte-diff gate
@@ -63,6 +64,27 @@ fn lint() -> Result<(), String> {
             "--",
             "--json",
             "results/lint.json",
+        ],
+    )
+}
+
+/// The pcmap-analyze semantic pass (DESIGN.md §15): token rules plus
+/// missed-wake horizon soundness, snapshot merge/export completeness,
+/// interprocedural nondeterminism taint, `// SAFETY:` coverage, and
+/// dead-waiver detection. Writes `results/analyze.json`.
+fn analyze() -> Result<(), String> {
+    step(
+        "analyze",
+        &[
+            "run",
+            "-q",
+            "-p",
+            "pcmap-lint",
+            "--bin",
+            "pcmap-analyze",
+            "--",
+            "--json",
+            "results/analyze.json",
         ],
     )
 }
@@ -308,6 +330,7 @@ fn main() -> ExitCode {
     let result = match task.as_str() {
         "ci" => fmt_check()
             .and_then(|()| lint())
+            .and_then(|()| analyze())
             .and_then(|()| clippy())
             .and_then(|()| test())
             .and_then(|()| check())
@@ -317,6 +340,7 @@ fn main() -> ExitCode {
             .and_then(|()| perf::perf(true, false)),
         "fmt" => step("fmt", &["fmt", "--all"]),
         "lint" => lint(),
+        "analyze" => analyze(),
         "clippy" => clippy(),
         "test" => test(),
         "check" => check(),
@@ -329,7 +353,7 @@ fn main() -> ExitCode {
         ),
         _ => {
             eprintln!(
-                "usage: cargo xtask <ci|fmt|lint|clippy|test|check|pardiff|soak|explain|perf [--smoke] [--alloc]>"
+                "usage: cargo xtask <ci|fmt|lint|analyze|clippy|test|check|pardiff|soak|explain|perf [--smoke] [--alloc]>"
             );
             return ExitCode::from(2);
         }
