@@ -200,46 +200,6 @@ fn sweep_table(rates: &[f64], reports: &[RunReport]) -> TableBuilder {
     t
 }
 
-/// One run's pass/fail line for the soak verdict.
-fn soak_check(rate: f64, r: &RunReport, failures: &mut Vec<String>) {
-    if r.silent_corruptions != 0 {
-        failures.push(format!(
-            "rate {rate}: {} silent corruption(s)",
-            r.silent_corruptions
-        ));
-    }
-    if r.invariant_violations != 0 {
-        failures.push(format!(
-            "rate {rate}: {} invariant violation(s)",
-            r.invariant_violations
-        ));
-    }
-    if rate > 0.0 && r.faults_injected == 0 {
-        failures.push(format!("rate {rate}: storm injected nothing"));
-    }
-    // Every injected fault must leave a visible trace in the recovery
-    // accounting — corrected, reconstructed, retried, failed upward,
-    // or rolled back. (Chip slow-downs/stuck-busy surface through the
-    // chip counters and watchdog.)
-    if r.faults_injected > 0 {
-        let visible = r.faults_corrected
-            + r.faults_reconstructed
-            + r.fault_retries
-            + r.reads_failed
-            + r.corruption_rollbacks
-            + r.watchdog_trips
-            + r.merged_channels().counter("faults_chip_slow")
-            + r.merged_channels().counter("faults_status_poll")
-            + r.merged_channels().counter("faults_stuck_cells");
-        if visible == 0 {
-            failures.push(format!(
-                "rate {rate}: {} fault(s) injected but none visible",
-                r.faults_injected
-            ));
-        }
-    }
-}
-
 fn main() {
     let _prof = pcmap_bench::prof_env();
     let args = match parse_args() {
@@ -292,16 +252,19 @@ fn main() {
     }
 
     if let Some(soak_path) = &args.soak {
-        let mut failures: Vec<String> = Vec::new();
-        for (&rate, r) in rates.iter().zip(&reports) {
-            soak_check(rate, r, &mut failures);
-        }
-        let demonstrated = reports
+        // The verdict itself lives in pcmap_bench::soak so its failure
+        // rules (silent corruption, over-budget retry, invisible faults,
+        // missing degradation round-trip) are unit-tested.
+        let runs: Vec<pcmap_bench::soak::SoakRunStats> = rates
             .iter()
-            .any(|r| r.degraded_enters > 0 && r.degraded_exits > 0);
-        if !demonstrated {
-            failures.push("no sweep point both entered and exited degraded mode".to_owned());
-        }
+            .zip(&reports)
+            .map(|(&rate, r)| {
+                let budget = storm(rate, args.fault_seed, soak).retry_budget;
+                pcmap_bench::soak::SoakRunStats::from_report(rate, budget, r)
+            })
+            .collect();
+        let gate = pcmap_bench::soak::verdict(&runs);
+        let failures = gate.failures.clone();
         let mut verdict = Value::obj();
         verdict.set("workload", Value::Str(args.workload.clone()));
         verdict.set("system", Value::Str(args.system.label().to_owned()));
@@ -323,12 +286,7 @@ fn main() {
             "faults_injected",
             Value::U64(reports.iter().map(|r| r.faults_injected).sum()),
         );
-        verdict.set("degraded_demonstrated", Value::Bool(demonstrated));
-        verdict.set(
-            "failures",
-            Value::Arr(failures.iter().cloned().map(Value::Str).collect()),
-        );
-        verdict.set("pass", Value::Bool(failures.is_empty()));
+        gate.render_into(&mut verdict);
         verdict.set(
             "runs",
             Value::Arr(

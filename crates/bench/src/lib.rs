@@ -9,6 +9,8 @@
 
 #![warn(missing_docs)]
 
+pub mod soak;
+
 use pcmap_core::SystemKind;
 use pcmap_obs::Value;
 use pcmap_sim::experiments::{evaluate_matrix_with, EvalScale, WorkloadEval};

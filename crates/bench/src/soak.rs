@@ -1,0 +1,274 @@
+//! The soak-gate verdict, extracted from the `fault_sweep` binary so it
+//! is unit-testable (DESIGN.md §11).
+//!
+//! A soak run passes only when the recovery stack stayed *visibly*
+//! correct under the storm: zero silent corruptions, zero protocol
+//! invariant violations (the checker counts over-budget retries and
+//! early watchdog trips among these), no over-budget retry arithmetic,
+//! every injected fault leaving a trace in the recovery accounting, and
+//! degraded mode demonstrably entered *and* exited. The binary turns a
+//! failed [`SoakVerdict`] into a failed `results/soak.json` plus a
+//! non-zero exit; the tests here force each failure class and assert the
+//! verdict refuses to pass.
+
+use pcmap_obs::Value;
+use pcmap_sim::RunReport;
+
+/// The per-run numbers the verdict is computed from.
+///
+/// Decoupled from [`RunReport`] so tests can cook any combination —
+/// including ones a healthy simulator can never produce.
+#[derive(Debug, Clone, Default)]
+pub struct SoakRunStats {
+    /// Headline fault rate of this sweep point.
+    pub rate: f64,
+    /// Reads whose post-correction oracle check failed — must be 0.
+    pub silent_corruptions: u64,
+    /// Protocol invariant violations (includes `retry-over-budget` and
+    /// `early-watchdog` from the checker) — must be 0.
+    pub invariant_violations: u64,
+    /// Faults the storm injected.
+    pub faults_injected: u64,
+    /// Sum of every visible recovery action (corrections,
+    /// reconstructions, retries, visible failures, rollbacks, watchdog
+    /// trips, chip/status fault counters).
+    pub visible_recoveries: u64,
+    /// Bounded-retry attempts taken.
+    pub fault_retries: u64,
+    /// Configured retry budget per uncorrectable read.
+    pub retry_budget: u32,
+    /// Times any rank entered degraded mode.
+    pub degraded_enters: u64,
+    /// Times any rank was re-promoted.
+    pub degraded_exits: u64,
+}
+
+impl SoakRunStats {
+    /// Collects the verdict inputs from a finished run.
+    #[must_use]
+    pub fn from_report(rate: f64, retry_budget: u32, r: &RunReport) -> Self {
+        let ch = r.merged_channels();
+        Self {
+            rate,
+            silent_corruptions: r.silent_corruptions,
+            invariant_violations: r.invariant_violations,
+            faults_injected: r.faults_injected,
+            visible_recoveries: r.faults_corrected
+                + r.faults_reconstructed
+                + r.fault_retries
+                + r.reads_failed
+                + r.corruption_rollbacks
+                + r.watchdog_trips
+                + ch.counter("faults_chip_slow")
+                + ch.counter("faults_status_poll")
+                + ch.counter("faults_stuck_cells"),
+            fault_retries: r.fault_retries,
+            retry_budget,
+            degraded_enters: r.degraded_enters,
+            degraded_exits: r.degraded_exits,
+        }
+    }
+}
+
+/// Outcome of the soak gate over a full sweep.
+#[derive(Debug)]
+pub struct SoakVerdict {
+    /// Every failure found, in rate order; empty means the gate passed.
+    pub failures: Vec<String>,
+    /// Whether any sweep point both entered and exited degraded mode.
+    pub degraded_demonstrated: bool,
+}
+
+impl SoakVerdict {
+    /// Whether the gate passed.
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the verdict fields shared by every soak artifact into
+    /// `out` (callers add their own run metadata around these).
+    pub fn render_into(&self, out: &mut Value) {
+        out.set(
+            "degraded_demonstrated",
+            Value::Bool(self.degraded_demonstrated),
+        );
+        out.set(
+            "failures",
+            Value::Arr(self.failures.iter().cloned().map(Value::Str).collect()),
+        );
+        out.set("pass", Value::Bool(self.pass()));
+    }
+}
+
+/// Checks one run and appends its failures.
+fn check_run(s: &SoakRunStats, failures: &mut Vec<String>) {
+    let rate = s.rate;
+    if s.silent_corruptions != 0 {
+        failures.push(format!(
+            "rate {rate}: {} silent corruption(s)",
+            s.silent_corruptions
+        ));
+    }
+    if s.invariant_violations != 0 {
+        failures.push(format!(
+            "rate {rate}: {} invariant violation(s) (includes retry-over-budget / early-watchdog)",
+            s.invariant_violations
+        ));
+    }
+    // Over-budget retry arithmetic the counters can prove on their own:
+    // with a zero budget, any retry at all is over budget. (Non-zero
+    // budgets are policed per-read by the protocol checker, which
+    // surfaces overruns as invariant violations above.)
+    if s.retry_budget == 0 && s.fault_retries > 0 {
+        failures.push(format!(
+            "rate {rate}: {} retry(ies) taken with a zero retry budget (over-budget retry)",
+            s.fault_retries
+        ));
+    }
+    if rate > 0.0 && s.faults_injected == 0 {
+        failures.push(format!("rate {rate}: storm injected nothing"));
+    }
+    // Every injected fault must leave a visible trace in the recovery
+    // accounting — corrected, reconstructed, retried, failed upward,
+    // rolled back, or surfaced through the chip/watchdog counters.
+    if s.faults_injected > 0 && s.visible_recoveries == 0 {
+        failures.push(format!(
+            "rate {rate}: {} fault(s) injected but none visible",
+            s.faults_injected
+        ));
+    }
+}
+
+/// Computes the soak verdict over every run of the sweep.
+#[must_use]
+pub fn verdict(runs: &[SoakRunStats]) -> SoakVerdict {
+    let mut failures = Vec::new();
+    for s in runs {
+        check_run(s, &mut failures);
+    }
+    let degraded_demonstrated = runs
+        .iter()
+        .any(|s| s.degraded_enters > 0 && s.degraded_exits > 0);
+    if !degraded_demonstrated {
+        failures.push("no sweep point both entered and exited degraded mode".to_owned());
+    }
+    SoakVerdict {
+        failures,
+        degraded_demonstrated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A run the gate should accept.
+    fn healthy(rate: f64) -> SoakRunStats {
+        SoakRunStats {
+            rate,
+            faults_injected: if rate > 0.0 { 40 } else { 0 },
+            visible_recoveries: if rate > 0.0 { 40 } else { 0 },
+            fault_retries: 6,
+            retry_budget: 3,
+            degraded_enters: 2,
+            degraded_exits: 2,
+            ..SoakRunStats::default()
+        }
+    }
+
+    #[test]
+    fn healthy_sweep_passes() {
+        let v = verdict(&[healthy(0.0), healthy(0.02)]);
+        assert!(v.pass(), "{:?}", v.failures);
+        assert!(v.degraded_demonstrated);
+    }
+
+    #[test]
+    fn a_single_silent_corruption_fails_the_gate() {
+        let mut bad = healthy(0.02);
+        bad.silent_corruptions = 1;
+        let v = verdict(&[healthy(0.0), bad]);
+        assert!(!v.pass());
+        assert!(
+            v.failures.iter().any(|f| f.contains("silent corruption")),
+            "{:?}",
+            v.failures
+        );
+    }
+
+    #[test]
+    fn an_over_budget_retry_fails_the_gate() {
+        // Arithmetic path: retries with a zero budget.
+        let mut bad = healthy(0.02);
+        bad.retry_budget = 0;
+        bad.fault_retries = 1;
+        let v = verdict(&[bad]);
+        assert!(!v.pass());
+        assert!(
+            v.failures.iter().any(|f| f.contains("over-budget retry")),
+            "{:?}",
+            v.failures
+        );
+    }
+
+    #[test]
+    fn a_checker_flagged_overrun_fails_the_gate() {
+        // Checker path: the protocol checker records retry-over-budget as
+        // an invariant violation; force one for real and feed its count
+        // through the verdict.
+        use pcmap_ctrl::ProtocolChecker;
+        use pcmap_types::{BankId, Cycle, TimingParams};
+        let mut checker = ProtocolChecker::collecting(&TimingParams::paper_default());
+        checker.retry(BankId(0), Cycle(100), 4, 3); // attempt 4 of budget 3
+        assert_eq!(checker.violation_count(), 1);
+
+        let mut bad = healthy(0.02);
+        bad.invariant_violations = checker.violation_count();
+        let v = verdict(&[bad]);
+        assert!(!v.pass());
+        assert!(
+            v.failures.iter().any(|f| f.contains("invariant violation")),
+            "{:?}",
+            v.failures
+        );
+    }
+
+    #[test]
+    fn invisible_faults_and_missing_degradation_fail() {
+        let mut bad = healthy(0.02);
+        bad.visible_recoveries = 0;
+        let v = verdict(&[bad]);
+        assert!(v.failures.iter().any(|f| f.contains("none visible")));
+
+        let mut quiet = healthy(0.02);
+        quiet.degraded_enters = 0;
+        let v = verdict(&[quiet]);
+        assert!(
+            v.failures.iter().any(|f| f.contains("degraded mode")),
+            "{:?}",
+            v.failures
+        );
+    }
+
+    #[test]
+    fn storm_that_injects_nothing_fails() {
+        let mut empty = healthy(0.05);
+        empty.faults_injected = 0;
+        empty.visible_recoveries = 0;
+        let v = verdict(&[empty]);
+        assert!(v.failures.iter().any(|f| f.contains("injected nothing")));
+    }
+
+    #[test]
+    fn verdict_renders_into_json() {
+        let mut out = Value::obj();
+        verdict(&[healthy(0.02)]).render_into(&mut out);
+        assert_eq!(out.get("pass"), Some(&Value::Bool(true)));
+        let mut out = Value::obj();
+        let mut bad = healthy(0.02);
+        bad.silent_corruptions = 2;
+        verdict(&[bad]).render_into(&mut out);
+        assert_eq!(out.get("pass"), Some(&Value::Bool(false)));
+    }
+}

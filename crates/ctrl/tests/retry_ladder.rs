@@ -1,0 +1,158 @@
+//! Pins the controller's bounded retry + backoff ladder and the
+//! stuck-busy watchdog to their exact contracts (DESIGN.md §11).
+//!
+//! These are the robustness invariants the serve tier (DESIGN.md §16)
+//! leans on: a permanently-damaged line costs *exactly* the configured
+//! retry budget — never one more attempt, never unbounded — with a
+//! monotone exponential backoff, and a hung chip is force-freed at
+//! precisely `expected_end + watchdog_deadline`, not a cycle early or
+//! late.
+
+use pcmap_ctrl::CtrlCore;
+use pcmap_faults::FaultPlan;
+use pcmap_types::{
+    BankId, ColAddr, Cycle, FaultConfig, MemOrg, QueueParams, RowAddr, TimingParams,
+};
+
+/// A fault config whose plan exists (Status corruption armed) but whose
+/// read stream never injects anything — the only damage present is what
+/// the test plants, so the ladder's arithmetic is exact.
+fn quiet_cfg(retry_budget: u32, retry_backoff: u64) -> FaultConfig {
+    FaultConfig {
+        status_corrupt_rate: 1.0,
+        retry_budget,
+        retry_backoff,
+        watchdog_deadline: 256,
+        ..FaultConfig::disabled()
+    }
+}
+
+fn core_with(cfg: FaultConfig) -> CtrlCore {
+    let mut core = CtrlCore::new(
+        MemOrg::tiny(),
+        TimingParams::paper_default(),
+        QueueParams::paper_default(),
+        7,
+    );
+    core.faults = FaultPlan::new(cfg, 0);
+    assert!(core.faults.is_some(), "plan must be armed");
+    core
+}
+
+/// Flips two stored bits in each of two words without touching ECC —
+/// per-word SECDED sees a double-bit (uncorrectable) error in both
+/// words on every read, and erasure reconstruction (single-word only)
+/// cannot save it, so resolve_read has no way out but the retry ladder.
+fn plant_two_word_damage(core: &mut CtrlCore, bank: BankId, row: RowAddr, col: ColAddr) {
+    for (word, bit) in [(0, 3), (0, 17), (5, 42), (5, 9)] {
+        core.rank
+            .storage_mut()
+            .inject_bit_error(bank, row, col, word, bit);
+    }
+}
+
+#[test]
+fn retries_never_exceed_the_budget() {
+    for budget in [0u32, 1, 3, 7] {
+        let backoff = 32u64;
+        let mut core = core_with(quiet_cfg(budget, backoff));
+        let (bank, row, col) = (BankId(0), RowAddr(0), ColAddr(0));
+        plant_two_word_damage(&mut core, bank, row, col);
+
+        let res = core.resolve_read(bank, row, col, Cycle(100), false);
+        assert!(res.failed, "unrecoverable damage must fail upward");
+        assert!(!res.corrupted);
+        assert_eq!(
+            core.stats.fault_retries,
+            u64::from(budget),
+            "budget {budget}: ladder must take exactly the budgeted retries"
+        );
+        assert_eq!(core.stats.reads_failed, 1);
+        // Backoff sum: backoff * (2^budget - 1) — attempt k waits
+        // backoff << k.
+        let expected_backoff = backoff * ((1u64 << budget) - 1);
+        assert_eq!(
+            res.retry_extra.0, expected_backoff,
+            "budget {budget}: exact exponential backoff total"
+        );
+        assert_eq!(res.reconstruct_extra.0, 0, "no erasure path for 2 words");
+        assert_eq!(
+            core.checker.violation_count(),
+            0,
+            "a ladder that stays inside its budget violates nothing"
+        );
+    }
+}
+
+#[test]
+fn a_second_failed_read_restarts_the_ladder_fresh() {
+    let mut core = core_with(quiet_cfg(3, 8));
+    let (bank, row, col) = (BankId(0), RowAddr(0), ColAddr(0));
+    plant_two_word_damage(&mut core, bank, row, col);
+
+    let first = core.resolve_read(bank, row, col, Cycle(100), false);
+    let second = core.resolve_read(bank, row, col, Cycle(5_000), false);
+    assert!(first.failed && second.failed);
+    assert_eq!(first.retry_extra.0, second.retry_extra.0);
+    assert_eq!(core.stats.fault_retries, 6, "3 retries per failed read");
+    assert_eq!(core.stats.reads_failed, 2);
+}
+
+#[test]
+fn backoff_is_monotone_and_saturates() {
+    let plan = FaultPlan::new(quiet_cfg(3, 16), 0).expect("armed plan");
+    let mut prev = 0u64;
+    for attempt in 0..40u32 {
+        let d = plan.retry_delay(attempt);
+        assert!(
+            d >= prev,
+            "backoff must be monotone: delay({attempt}) = {d} < {prev}"
+        );
+        prev = d;
+    }
+    assert_eq!(
+        plan.retry_delay(16),
+        plan.retry_delay(39),
+        "shift saturates at 16 so the delay cannot overflow"
+    );
+    assert_eq!(plan.retry_delay(0), 16);
+    assert_eq!(plan.retry_delay(3), 16 << 3);
+}
+
+#[test]
+fn watchdog_fires_exactly_at_its_threshold_cycle() {
+    let mut cfg = quiet_cfg(3, 8);
+    cfg.chip_stuck_rate = 1.0; // every chip op hangs
+    let deadline = cfg.watchdog_deadline;
+    let mut core = core_with(cfg);
+
+    let start = Cycle(1_000);
+    let expected_end = Cycle(1_160);
+    let got = core.apply_chip_fault(BankId(0), CtrlCore::coarse_read_set(), start, expected_end);
+    assert_eq!(
+        got, expected_end,
+        "a stuck chip delivered its data on time; only occupancy hangs"
+    );
+    assert_eq!(core.watchdogs.len(), 1);
+    let fire_at = core.watchdogs[0].fire_at;
+    assert_eq!(fire_at, Cycle(expected_end.0 + deadline));
+
+    // One cycle early: nothing may fire.
+    core.service_watchdogs(Cycle(fire_at.0 - 1));
+    assert_eq!(core.stats.watchdog_trips, 0, "fired a cycle early");
+    assert_eq!(core.watchdogs.len(), 1);
+
+    // Exactly at the threshold: exactly one trip.
+    core.service_watchdogs(fire_at);
+    assert_eq!(core.stats.watchdog_trips, 1, "must fire at the threshold");
+    assert!(core.watchdogs.is_empty());
+
+    // Long after: no double-count of a fired watchdog.
+    core.service_watchdogs(Cycle(fire_at.0 + 10_000));
+    assert_eq!(core.stats.watchdog_trips, 1);
+    assert_eq!(
+        core.checker.violation_count(),
+        0,
+        "an on-time watchdog violates nothing"
+    );
+}

@@ -208,6 +208,12 @@ mod tests {
             scope_for(Path::new("crates/core/src/lib.rs")),
             CrateScope::SimFacing
         );
+        // The serve tier is a sim-facing crate: its shard clocks and
+        // outcome ledgers live under the full determinism ruleset.
+        assert_eq!(
+            scope_for(Path::new("crates/serve/src/lib.rs")),
+            CrateScope::SimFacing
+        );
         assert_eq!(
             scope_for(Path::new("crates/xtask/src/main.rs")),
             CrateScope::Profiling

@@ -1,0 +1,122 @@
+//! Integer token-bucket admission control (DESIGN.md §16).
+//!
+//! One bucket per tenant. All arithmetic is u64 cycles and whole
+//! tokens — no float accumulation, so refill across shards and job
+//! counts is exactly reproducible. Refill is lazy: tokens materialize
+//! when the bucket is next consulted, one per `refill_period` elapsed
+//! cycles, with the remainder carried so cadence never drifts.
+
+/// A lazily-refilled token bucket.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: u64,
+    refill_period: u64,
+    tokens: u64,
+    /// Cycle at which the last refill was accounted; the un-credited
+    /// remainder `(now - refilled_at) % refill_period` stays implicit.
+    refilled_at: u64,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full.
+    #[must_use]
+    pub fn new(capacity: u64, refill_period: u64) -> Self {
+        debug_assert!(capacity > 0 && refill_period > 0);
+        Self {
+            capacity,
+            refill_period,
+            tokens: capacity,
+            refilled_at: 0,
+        }
+    }
+
+    fn refill(&mut self, at: u64) {
+        let elapsed = at.saturating_sub(self.refilled_at);
+        let earned = elapsed / self.refill_period;
+        if earned == 0 {
+            return;
+        }
+        if self.tokens.saturating_add(earned) >= self.capacity {
+            self.tokens = self.capacity;
+            // A full bucket restarts its cadence from the observation
+            // point; carrying the remainder would credit pre-overflow
+            // time.
+            self.refilled_at = at;
+        } else {
+            self.tokens += earned;
+            self.refilled_at += earned * self.refill_period;
+        }
+    }
+
+    /// Takes one token at cycle `at`; `false` means the tenant is
+    /// throttled.
+    pub fn try_take(&mut self, at: u64) -> bool {
+        self.refill(at);
+        if self.tokens == 0 {
+            return false;
+        }
+        self.tokens -= 1;
+        true
+    }
+
+    /// Tokens available at cycle `at` (refills first).
+    pub fn available(&mut self, at: u64) -> u64 {
+        self.refill(at);
+        self.tokens
+    }
+
+    /// Returns a token whose admission was unwound downstream (e.g. the
+    /// controller queue rejected the request after the gate admitted
+    /// it). Capped at capacity.
+    pub fn refund(&mut self) {
+        self.tokens = (self.tokens + 1).min(self.capacity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_throttles_at_zero() {
+        let mut b = TokenBucket::new(2, 10);
+        assert!(b.try_take(0));
+        assert!(b.try_take(0));
+        assert!(!b.try_take(0), "burst capacity exhausted");
+        assert!(!b.try_take(9), "not yet refilled");
+        assert!(b.try_take(10), "one token after one period");
+        assert!(!b.try_take(10));
+    }
+
+    #[test]
+    fn refill_carries_remainder_without_drift() {
+        let mut b = TokenBucket::new(4, 10);
+        for _ in 0..4 {
+            assert!(b.try_take(0));
+        }
+        // 25 cycles = 2 tokens + 5 remainder; the next token lands at
+        // 30, not 35.
+        assert_eq!(b.available(25), 2);
+        b.try_take(25);
+        b.try_take(25);
+        assert!(!b.try_take(29));
+        assert!(b.try_take(30));
+    }
+
+    #[test]
+    fn refill_caps_at_capacity() {
+        let mut b = TokenBucket::new(3, 5);
+        assert!(b.try_take(0));
+        assert_eq!(b.available(1_000_000), 3);
+    }
+
+    #[test]
+    fn refund_returns_a_token_capped() {
+        let mut b = TokenBucket::new(2, 10);
+        assert!(b.try_take(0));
+        b.refund();
+        assert_eq!(b.available(0), 2);
+        b.refund();
+        assert_eq!(b.available(0), 2, "refund never exceeds capacity");
+    }
+}

@@ -1,0 +1,252 @@
+//! Fleet orchestration: shards fan out over a worker pool and merge in
+//! shard order (DESIGN.md §16).
+//!
+//! Each shard is a self-contained [`ShardSim`]; the fleet farms them to
+//! [`Pool::ordered_map`] and folds the outcomes left-to-right in shard
+//! order, so the merged report is byte-identical at any `--jobs` count
+//! (DESIGN.md §9). [`ServeReport::check`] enforces the overload-safety
+//! contract before anything is exported: conservation (every generated
+//! request reached exactly one terminal outcome), the bounded-ingress
+//! cap, and a non-empty run.
+
+use pcmap_obs::{MetricsSnapshot, TenantTable, Value};
+use pcmap_par::Pool;
+use pcmap_types::{ServeConfig, ServeSummary};
+
+use crate::shard::{ServiceLevel, ShardOutcome, ShardSim};
+
+/// Worst SLO attainers exported in the tenant block.
+const REPORT_TOP_K: usize = 8;
+
+/// The merged outcome of a full fleet run.
+pub struct ServeReport {
+    /// The configuration that produced this report.
+    pub cfg: ServeConfig,
+    /// Fleet-wide outcome ledger.
+    pub summary: ServeSummary,
+    /// Fleet-wide counters, gauges, and latency histograms.
+    pub snapshot: MetricsSnapshot,
+    /// Per-tenant outcome rows (fleet width).
+    pub tenants: TenantTable,
+    /// Cycles each shard spent at each ladder rung, summed
+    /// ([`ServiceLevel::ALL`] order).
+    pub level_cycles: [u64; 4],
+    /// Latest end cycle across shards (fleet makespan).
+    pub end_cycle: u64,
+    /// Per-shard ledgers, in shard order.
+    pub shards: Vec<ServeSummary>,
+}
+
+/// Runs every shard of `cfg` on `pool` and merges the outcomes.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails validation.
+pub fn run_fleet(cfg: &ServeConfig, pool: &mut Pool) -> ServeReport {
+    cfg.validate().expect("valid serve config");
+    let shard_ids: Vec<u32> = (0..cfg.shards()).collect();
+    let outcomes: Vec<ShardOutcome> = pool.ordered_map(shard_ids, |shard| {
+        ShardSim::new(cfg.clone(), shard).run_to_completion()
+    });
+
+    let mut summary = ServeSummary::default();
+    let mut snapshot = MetricsSnapshot::new();
+    let mut tenants = TenantTable::new(cfg.tenants as usize);
+    let mut level_cycles = [0u64; 4];
+    let mut end_cycle = 0u64;
+    let mut shards = Vec::with_capacity(outcomes.len());
+    for out in &outcomes {
+        summary.merge(&out.summary);
+        snapshot.merge(&out.snapshot);
+        tenants.merge(&out.tenants);
+        for (total, cycles) in level_cycles.iter_mut().zip(out.level_cycles) {
+            *total += cycles;
+        }
+        end_cycle = end_cycle.max(out.end_cycle);
+        shards.push(out.summary);
+    }
+    ServeReport {
+        cfg: cfg.clone(),
+        summary,
+        snapshot,
+        tenants,
+        level_cycles,
+        end_cycle,
+        shards,
+    }
+}
+
+impl ServeReport {
+    /// Verifies the overload-safety contract; returns every violation
+    /// found (empty means the run is sound).
+    #[must_use]
+    pub fn check(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        if self.summary.generated != self.cfg.requests {
+            problems.push(format!(
+                "generated {} requests, configured {}",
+                self.summary.generated, self.cfg.requests
+            ));
+        }
+        if !self.summary.conserved() {
+            problems.push(format!(
+                "fleet ledger leaks requests: generated {} != retired {} + shed {} + failed {}",
+                self.summary.generated,
+                self.summary.retired,
+                self.summary.shed_total(),
+                self.summary.failed
+            ));
+        }
+        if self.summary.peak_ingress > u64::from(self.cfg.ingress_cap) {
+            problems.push(format!(
+                "peak ingress {} exceeds the cap {}",
+                self.summary.peak_ingress, self.cfg.ingress_cap
+            ));
+        }
+        for (shard, s) in self.shards.iter().enumerate() {
+            if !s.conserved() {
+                problems.push(format!("shard {shard} ledger leaks requests: {s:?}"));
+            }
+            if s.peak_ingress > u64::from(self.cfg.ingress_cap) {
+                problems.push(format!(
+                    "shard {shard} peak ingress {} exceeds the cap {}",
+                    s.peak_ingress, self.cfg.ingress_cap
+                ));
+            }
+        }
+        problems
+    }
+
+    /// Stable JSON export. Deliberately excludes anything that varies
+    /// with `--jobs` (worker counts, wall time), so two runs of the same
+    /// config serialize byte-identically regardless of parallelism.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let mut scale = Value::obj();
+        scale.set("tenants", Value::U64(u64::from(self.cfg.tenants)));
+        scale.set("shards", Value::U64(u64::from(self.cfg.shards())));
+        scale.set("ranks", Value::U64(u64::from(self.cfg.total_ranks())));
+        scale.set("requests", Value::U64(self.cfg.requests));
+        scale.set("seed", Value::U64(self.cfg.seed));
+        scale.set("fault_storm", Value::Bool(self.cfg.faults.enabled()));
+
+        let mut latency = Value::obj();
+        if let Some(h) = self.snapshot.histogram("serve_latency") {
+            latency.set("count", Value::U64(h.count()));
+            latency.set("p50", Value::U64(h.percentile(50.0)));
+            latency.set("p99", Value::U64(h.percentile(99.0)));
+        }
+
+        let mut levels = Value::obj();
+        for (level, cycles) in ServiceLevel::ALL.iter().zip(self.level_cycles) {
+            levels.set(level.as_str(), Value::U64(cycles));
+        }
+
+        let mut v = Value::obj();
+        v.set("scale", scale);
+        v.set("summary", summary_json(&self.summary));
+        v.set("latency", latency);
+        v.set("level_cycles", levels);
+        v.set("end_cycle", Value::U64(self.end_cycle));
+        v.set(
+            "tenants",
+            self.tenants
+                .to_json(u64::from(self.cfg.slo.goal_bp), REPORT_TOP_K),
+        );
+        v.set(
+            "shards",
+            Value::Arr(self.shards.iter().map(summary_json).collect()),
+        );
+        v.set("metrics", self.snapshot.to_json());
+        let problems = self.check();
+        v.set("sound", Value::Bool(problems.is_empty()));
+        v.set(
+            "problems",
+            Value::Arr(problems.into_iter().map(Value::Str).collect()),
+        );
+        v
+    }
+}
+
+/// Renders one outcome ledger.
+fn summary_json(s: &ServeSummary) -> Value {
+    let mut v = Value::obj();
+    v.set("generated", Value::U64(s.generated));
+    v.set("admitted", Value::U64(s.admitted));
+    v.set("retired", Value::U64(s.retired));
+    v.set("shed_throttled", Value::U64(s.shed_throttled));
+    v.set("shed_overflow", Value::U64(s.shed_overflow));
+    v.set("shed_degraded", Value::U64(s.shed_degraded));
+    v.set("shed_deadline", Value::U64(s.shed_deadline));
+    v.set("failed", Value::U64(s.failed));
+    v.set("retries", Value::U64(s.retries));
+    v.set("deferrals", Value::U64(s.deferrals));
+    v.set("slo_ok", Value::U64(s.slo_ok));
+    v.set(
+        "slo_attainment_bp",
+        Value::U64(u64::from(s.slo_attainment_bp())),
+    );
+    v.set("peak_ingress", Value::U64(s.peak_ingress));
+    v.set("conserved", Value::Bool(s.conserved()));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmap_types::FaultConfig;
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig::paper_default()
+            .with_tenants(32)
+            .with_requests(6_000)
+            .with_fleet(2, 2, 2)
+            .with_faults(FaultConfig::storm(0.05, 3))
+    }
+
+    #[test]
+    fn fleet_json_is_byte_identical_across_jobs() {
+        let cfg = small_cfg();
+        let serial = run_fleet(&cfg, &mut Pool::new(1))
+            .to_json()
+            .to_json_string();
+        let parallel = run_fleet(&cfg, &mut Pool::new(4))
+            .to_json()
+            .to_json_string();
+        assert_eq!(serial, parallel, "serve report must not depend on --jobs");
+    }
+
+    #[test]
+    fn fleet_checks_clean_and_covers_all_tenants() {
+        let cfg = small_cfg();
+        let report = run_fleet(&cfg, &mut Pool::new(2));
+        assert!(report.check().is_empty(), "{:?}", report.check());
+        assert_eq!(report.summary.generated, cfg.requests);
+        assert_eq!(report.tenants.len(), cfg.tenants as usize);
+        assert_eq!(report.tenants.aggregate().generated, cfg.requests);
+        assert_eq!(report.shards.len(), cfg.shards() as usize);
+    }
+
+    #[test]
+    fn json_reports_soundness_and_latency() {
+        let report = run_fleet(&small_cfg(), &mut Pool::new(1));
+        let v = report.to_json();
+        assert_eq!(v.get("sound"), Some(&Value::Bool(true)));
+        let latency = v.get("latency").expect("latency block");
+        assert!(latency.get("p99").and_then(Value::as_u64).is_some());
+        let summary = v.get("summary").expect("summary block");
+        assert_eq!(summary.get("conserved"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn check_flags_a_cooked_ledger() {
+        let cfg = small_cfg();
+        let mut report = run_fleet(&cfg, &mut Pool::new(1));
+        report.summary.retired -= 1;
+        let problems = report.check();
+        assert!(
+            problems.iter().any(|p| p.contains("leaks requests")),
+            "{problems:?}"
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! `pcmap-serve` — overload-safe ingestion tier for the PCMap fleet
+//! (DESIGN.md §16).
+//!
+//! The ROADMAP's production direction puts a service tier in front of
+//! the memory system: thousands of tenants streaming requests into a
+//! sharded fleet of channels × DIMMs, each shard serving through its
+//! ranks. This crate models that tier end to end, with the robustness
+//! properties a real ingestion front-end must have:
+//!
+//! - **Admission control** — one token bucket per tenant
+//!   ([`bucket::TokenBucket`]): bursts up to the bucket capacity, then
+//!   throttled sheds, never unbounded queueing.
+//! - **Bounded ingress** — each shard's queue has a hard entry cap;
+//!   overload sheds visibly (`shed_overflow`) instead of growing.
+//!   Backpressure (hysteresis watermarks over a write-weighted backlog)
+//!   defers fresh arrivals with exponential backoff before the cap is
+//!   ever hit.
+//! - **Deadlines, retry, backoff** — every request carries a deadline;
+//!   timeouts and fault-failed services re-enter admission with
+//!   exponentially backed-off delays, bounded by a retry budget, after
+//!   which the request fails *visibly* (`shed_deadline` / `failed`).
+//! - **Graceful degradation** — a four-rung ladder
+//!   ([`shard::ServiceLevel`]) driven by the PR 4 fault machinery:
+//!   full → read-priority → admit-critical-only → shed, demoting as
+//!   fault storms and backlog mount and re-promoting on clean windows.
+//! - **Conservation** — every generated request ends in exactly one
+//!   terminal bucket; [`ServeReport::check`] refuses to export a ledger
+//!   that leaks.
+//!
+//! Shards are independent sub-simulations farmed to `pcmap_par::Pool`
+//! and merged in shard order, so reports are byte-identical at any
+//! `--jobs` (DESIGN.md §9). [`gate::TokenGate`] additionally attaches
+//! the same admission policy to the real `pcmap_sim::System` for
+//! small-scale cross-checking.
+
+pub mod bucket;
+pub mod fleet;
+pub mod gate;
+pub mod shard;
+
+pub use bucket::TokenBucket;
+pub use fleet::{run_fleet, ServeReport};
+pub use gate::TokenGate;
+pub use shard::{ServiceLevel, ShardOutcome, ShardSim};

@@ -1,0 +1,791 @@
+//! One fleet shard: an independent, deterministic sub-simulation of
+//! admission, queueing, service, and degradation (DESIGN.md §16).
+//!
+//! A shard owns a static subset of tenants (`tenant_id % shards ==
+//! shard_id`), a bounded ingress queue, `ranks_per_shard` service
+//! lanes, and its own [`FaultPlan`]. Nothing crosses shard boundaries,
+//! so the fleet can farm shards to pool workers and merge results in
+//! shard order with byte-identical output at any `--jobs` (DESIGN.md
+//! §9).
+//!
+//! The clock only ever jumps to computed horizons (the next generation,
+//! re-admission, or lane-free cycle); every request reaches exactly one
+//! terminal outcome, which [`ServeSummary::conserved`] checks.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use pcmap_faults::{ChipFault, FaultPlan, ReadFault};
+use pcmap_obs::{GaugeRule, HistogramId, MetricRegistry, MetricsSnapshot, TenantTable};
+use pcmap_types::serve::BP_SCALE;
+use pcmap_types::{Cycle, ServeConfig, ServeSummary, TenantClass, Xoshiro256};
+
+use crate::bucket::TokenBucket;
+
+/// Extra service cycles charged when inline SECDED corrects a
+/// single-bit fault.
+const ECC_CORRECT_EXTRA: u64 = 4;
+
+/// Rung of the graceful-degradation ladder, in order of shrinking
+/// service (DESIGN.md §16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ServiceLevel {
+    /// Healthy: every class admitted, FIFO dispatch.
+    Full,
+    /// Backlogged or degraded: reads dispatch before writes.
+    ReadPriority,
+    /// Degraded *and* backlogged: only `Critical` tenants admitted.
+    CriticalOnly,
+    /// Storm raging with the window re-filled: admission fully shed.
+    Shed,
+}
+
+impl ServiceLevel {
+    /// All rungs, healthiest first.
+    pub const ALL: [ServiceLevel; 4] = [
+        ServiceLevel::Full,
+        ServiceLevel::ReadPriority,
+        ServiceLevel::CriticalOnly,
+        ServiceLevel::Shed,
+    ];
+
+    /// Stable lowercase name for reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServiceLevel::Full => "full",
+            ServiceLevel::ReadPriority => "read_priority",
+            ServiceLevel::CriticalOnly => "critical_only",
+            ServiceLevel::Shed => "shed",
+        }
+    }
+
+    /// Index into per-level arrays ([`Self::ALL`] order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            ServiceLevel::Full => 0,
+            ServiceLevel::ReadPriority => 1,
+            ServiceLevel::CriticalOnly => 2,
+            ServiceLevel::Shed => 3,
+        }
+    }
+}
+
+/// A tenant resident on this shard.
+struct Tenant {
+    /// Global tenant id (row index in the fleet-wide table).
+    id: u32,
+    class: TenantClass,
+    bucket: TokenBucket,
+    rng: Xoshiro256,
+    /// Requests this tenant still has to generate.
+    remaining: u64,
+    /// Mean inter-arrival gap in cycles.
+    period: u64,
+}
+
+/// One in-flight request (from generation to terminal outcome).
+#[derive(Debug, Clone)]
+struct Request {
+    /// Index into this shard's `tenants`.
+    slot: u32,
+    class: TenantClass,
+    is_read: bool,
+    /// First-generation cycle; SLO latency is measured from here.
+    born: u64,
+    /// Current completion deadline (refreshed on re-admission).
+    due: u64,
+    /// Re-admissions taken (timeout or failed service).
+    attempts: u32,
+    /// Backpressure deferrals taken before first admission.
+    defers: u32,
+    /// Whether the first admission was already counted.
+    counted_admit: bool,
+}
+
+enum EvKind {
+    /// Tenant `slot` generates its next request.
+    Generate { slot: u32 },
+    /// A deferred or retried request re-enters admission.
+    Readmit { req: Request },
+}
+
+struct Ev {
+    at: u64,
+    /// Unique, monotone tiebreaker: equal-cycle events process in
+    /// creation order, deterministically.
+    seq: u64,
+    kind: EvKind,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// What one shard hands back to the fleet merge.
+pub struct ShardOutcome {
+    /// This shard's conserved outcome ledger.
+    pub summary: ServeSummary,
+    /// This shard's counters/gauges/histograms.
+    pub snapshot: MetricsSnapshot,
+    /// Fleet-width tenant table (zero rows for non-resident tenants).
+    pub tenants: TenantTable,
+    /// Cycles spent at each ladder rung ([`ServiceLevel::ALL`] order).
+    pub level_cycles: [u64; 4],
+    /// Final simulated cycle of this shard.
+    pub end_cycle: u64,
+}
+
+/// The per-shard simulation.
+pub struct ShardSim {
+    cfg: ServeConfig,
+    shard: u32,
+    tenants: Vec<Tenant>,
+    events: BinaryHeap<Reverse<Ev>>,
+    queue: VecDeque<Request>,
+    /// Busy-until horizon per service lane.
+    lanes: Vec<u64>,
+    plan: Option<FaultPlan>,
+    clock: u64,
+    next_seq: u64,
+    backpressured: bool,
+    level: ServiceLevel,
+    level_cycles: [u64; 4],
+    summary: ServeSummary,
+    table: TenantTable,
+    registry: MetricRegistry,
+    h_latency: HistogramId,
+    h_class: [HistogramId; 3],
+}
+
+impl ShardSim {
+    /// Builds shard `shard` of the fleet described by `cfg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails validation.
+    pub fn new(cfg: ServeConfig, shard: u32) -> Self {
+        cfg.validate().expect("valid serve config");
+        assert!(shard < cfg.shards());
+        let shards = u64::from(cfg.shards());
+        let total_tenants = u64::from(cfg.tenants);
+        let base_quota = cfg.requests / total_tenants;
+        let extra = cfg.requests % total_tenants;
+
+        let mut tenants = Vec::new();
+        let mut events = BinaryHeap::new();
+        let mut next_seq = 0u64;
+        for id in 0..cfg.tenants {
+            if u64::from(id) % shards != u64::from(shard) {
+                continue;
+            }
+            // Class by percentile position, so the configured mix holds
+            // exactly at fleet scale.
+            let pos_bp = u64::from(id) * u64::from(BP_SCALE) / total_tenants;
+            let class = if pos_bp < u64::from(cfg.class_mix_bp[0]) {
+                TenantClass::Critical
+            } else if pos_bp < u64::from(cfg.class_mix_bp[0] + cfg.class_mix_bp[1]) {
+                TenantClass::Standard
+            } else {
+                TenantClass::Background
+            };
+            let spec = cfg.tenant_template[class.index()];
+            let quota = base_quota + u64::from(u64::from(id) < extra);
+            let mut tenant = Tenant {
+                id,
+                class,
+                bucket: TokenBucket::new(
+                    u64::from(spec.bucket_capacity),
+                    spec.bucket_refill_period,
+                ),
+                rng: Xoshiro256::new(
+                    cfg.seed ^ 0x7e4a_0a57 ^ u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ),
+                remaining: quota,
+                period: spec.arrival_period,
+            };
+            if tenant.remaining > 0 {
+                let first = Self::draw_gap(&mut tenant);
+                let slot = tenants.len() as u32;
+                events.push(Reverse(Ev {
+                    at: first,
+                    seq: next_seq,
+                    kind: EvKind::Generate { slot },
+                }));
+                next_seq += 1;
+            }
+            tenants.push(tenant);
+        }
+
+        let mut registry = MetricRegistry::new();
+        let h_latency = registry.histogram("serve_latency");
+        let h_class = [
+            registry.histogram("latency_critical"),
+            registry.histogram("latency_standard"),
+            registry.histogram("latency_background"),
+        ];
+        Self {
+            tenants,
+            events,
+            queue: VecDeque::new(),
+            lanes: vec![0; cfg.ranks_per_shard as usize],
+            plan: FaultPlan::new(cfg.faults, u64::from(shard)),
+            clock: 0,
+            next_seq,
+            backpressured: false,
+            level: ServiceLevel::Full,
+            level_cycles: [0; 4],
+            summary: ServeSummary::default(),
+            table: TenantTable::new(cfg.tenants as usize),
+            registry,
+            h_latency,
+            h_class,
+            cfg,
+            shard,
+        }
+    }
+
+    fn draw_gap(t: &mut Tenant) -> u64 {
+        // Uniform in `1..=2*period-1`, mean ≈ period; never zero so a
+        // tenant cannot generate twice in one cycle.
+        1 + t.rng.next_below(2 * t.period - 1)
+    }
+
+    fn push_event(&mut self, at: u64, kind: EvKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(Ev { at, seq, kind }));
+    }
+
+    /// Ingress backlog weighted for write drain: a queued write counts
+    /// double (its service occupancy is ~2× a read's), so a write-heavy
+    /// backlog asserts backpressure earlier — the "write drain falling
+    /// behind" signal of DESIGN.md §16.
+    fn weighted_backlog(&self) -> u64 {
+        self.queue
+            .iter()
+            .map(|r| if r.is_read { 1 } else { 2 })
+            .sum()
+    }
+
+    /// Re-evaluates the degradation ladder at `at`.
+    fn reassess(&mut self, at: u64) {
+        let weighted = self.weighted_backlog();
+        let high = u64::from(self.cfg.backpressure_high);
+        let low = u64::from(self.cfg.backpressure_low);
+        if !self.backpressured && weighted >= high {
+            self.backpressured = true;
+        } else if self.backpressured && weighted <= low {
+            self.backpressured = false;
+        }
+        let (degraded, storm_pressure) = match self.plan.as_mut() {
+            Some(plan) => {
+                let degraded = plan.is_degraded(Cycle(at));
+                (degraded, plan.signal(Cycle(at)).pressure_bp >= BP_SCALE)
+            }
+            None => (false, false),
+        };
+        let backlogged = weighted >= high;
+        self.level = match (degraded, backlogged) {
+            (true, true) if storm_pressure => ServiceLevel::Shed,
+            (true, true) => ServiceLevel::CriticalOnly,
+            (true, false) | (false, true) => ServiceLevel::ReadPriority,
+            (false, false) => ServiceLevel::Full,
+        };
+    }
+
+    /// One request reaches a terminal outcome.
+    fn terminal(&mut self, req: &Request, outcome: &'static str) {
+        let row = self
+            .table
+            .row_mut(self.tenants[req.slot as usize].id as usize);
+        row.generated += 1;
+        match outcome {
+            "shed_throttled" => {
+                self.summary.shed_throttled += 1;
+                row.shed += 1;
+            }
+            "shed_overflow" => {
+                self.summary.shed_overflow += 1;
+                row.shed += 1;
+            }
+            "shed_degraded" => {
+                self.summary.shed_degraded += 1;
+                row.shed += 1;
+            }
+            "shed_deadline" => {
+                self.summary.shed_deadline += 1;
+                row.shed += 1;
+            }
+            "failed" => {
+                self.summary.failed += 1;
+                row.failed += 1;
+            }
+            other => unreachable!("unknown terminal outcome {other}"),
+        }
+        if req.counted_admit {
+            row.admitted += 1;
+        }
+        row.retries += u64::from(req.attempts);
+    }
+
+    /// Admission: ladder gate, backpressure deferral, token bucket,
+    /// bounded queue — in that order. Consumes the request; every exit
+    /// is either the queue, a future re-admission event, or a terminal
+    /// outcome.
+    fn admit(&mut self, mut req: Request, at: u64) {
+        self.reassess(at);
+        // 1. Degradation ladder.
+        let ladder_shed = match self.level {
+            ServiceLevel::Shed => true,
+            ServiceLevel::CriticalOnly => req.class != TenantClass::Critical,
+            ServiceLevel::Full | ServiceLevel::ReadPriority => false,
+        };
+        if ladder_shed {
+            self.terminal(&req, "shed_degraded");
+            return;
+        }
+        // 2. Backpressure: defer fresh arrivals upstream with
+        // exponential backoff; a deferral that cannot land before the
+        // deadline is shed visibly instead of looping forever.
+        if self.backpressured && !req.counted_admit {
+            let wait = self.cfg.retry_backoff << req.defers.min(16);
+            let resume = at + wait.max(1);
+            self.summary.deferrals += 1;
+            if resume > req.due {
+                self.terminal(&req, "shed_deadline");
+                return;
+            }
+            req.defers += 1;
+            self.push_event(resume, EvKind::Readmit { req });
+            return;
+        }
+        // 3. Token bucket (first admission only; retries were paid for).
+        if !req.counted_admit {
+            let tenant = &mut self.tenants[req.slot as usize];
+            if !tenant.bucket.try_take(at) {
+                self.terminal(&req, "shed_throttled");
+                return;
+            }
+        }
+        // 4. Bounded ingress queue — the hard memory cap.
+        if self.queue.len() >= self.cfg.ingress_cap as usize {
+            self.terminal(&req, "shed_overflow");
+            return;
+        }
+        if !req.counted_admit {
+            req.counted_admit = true;
+            self.summary.admitted += 1;
+        }
+        self.queue.push_back(req);
+        let occupancy = self.queue.len() as u64;
+        if occupancy > self.summary.peak_ingress {
+            self.summary.peak_ingress = occupancy;
+        }
+    }
+
+    /// Picks the queue index to dispatch next under the current ladder
+    /// rung. Deterministic: scans in FIFO order.
+    fn pick(&self) -> usize {
+        match self.level {
+            ServiceLevel::Full => 0,
+            ServiceLevel::ReadPriority => self.queue.iter().position(|r| r.is_read).unwrap_or(0),
+            ServiceLevel::CriticalOnly | ServiceLevel::Shed => {
+                let best = |want_class: bool, want_read: bool| {
+                    self.queue.iter().position(|r| {
+                        (!want_class || r.class == TenantClass::Critical)
+                            && (!want_read || r.is_read)
+                    })
+                };
+                best(true, true)
+                    .or_else(|| best(true, false))
+                    .or_else(|| best(false, true))
+                    .unwrap_or(0)
+            }
+        }
+    }
+
+    /// Records an injected fault on the shard's plan and counters.
+    fn note_fault(&mut self, at: u64, counter: &'static str) {
+        self.registry_bump("faults_injected");
+        self.registry_bump(counter);
+        if let Some(plan) = self.plan.as_mut() {
+            if plan.record_fault(Cycle(at)) {
+                self.registry_bump("degraded_enters");
+            }
+        }
+    }
+
+    fn registry_bump(&mut self, name: &'static str) {
+        // Counters are registered on first use; the fixed call sites
+        // keep the name set identical across shards.
+        let id = self.registry.counter(name);
+        self.registry.add(id, 1);
+    }
+
+    /// Dispatches queued requests onto free lanes at `at`.
+    fn dispatch(&mut self, at: u64) {
+        loop {
+            if self.queue.is_empty() {
+                return;
+            }
+            let Some(lane) = self.lanes.iter().position(|&busy| busy <= at) else {
+                return;
+            };
+            self.reassess(at);
+            let idx = self.pick();
+            let mut req = self.queue.remove(idx).expect("picked index in range");
+
+            // Deadline enforcement at service start: a request that
+            // aged out while queued re-enters with backoff, bounded by
+            // the retry budget.
+            if at > req.due {
+                if req.attempts < self.cfg.retry_budget {
+                    let wait = self.cfg.retry_backoff << req.attempts.min(16);
+                    req.attempts += 1;
+                    req.due = at + wait.max(1) + self.cfg.deadline;
+                    self.summary.retries += 1;
+                    self.registry_bump("timeouts");
+                    self.push_event(at + wait.max(1), EvKind::Readmit { req });
+                } else {
+                    self.registry_bump("timeouts");
+                    self.terminal(&req, "shed_deadline");
+                }
+                continue;
+            }
+
+            let base = if req.is_read {
+                self.cfg.service_read
+            } else {
+                self.cfg.service_write
+            };
+            let mut service = base;
+            let mut failed_delivery = false;
+            if self.plan.is_some() {
+                match self.plan.as_mut().expect("plan present").on_chip_op() {
+                    ChipFault::None => {}
+                    ChipFault::Slow(extra) => {
+                        service += extra;
+                        self.note_fault(at, "faults_chip_slow");
+                    }
+                    ChipFault::StuckBusy => {
+                        // The lane hangs until the watchdog force-frees
+                        // it; the request rides out the stall.
+                        service += self
+                            .plan
+                            .as_ref()
+                            .expect("plan present")
+                            .watchdog_deadline();
+                        self.registry_bump("watchdog_trips");
+                        self.note_fault(at, "faults_chip_stuck");
+                    }
+                }
+                if req.is_read {
+                    match self.plan.as_mut().expect("plan present").on_line_read() {
+                        ReadFault::None => {}
+                        ReadFault::SingleBit { .. } => {
+                            service += ECC_CORRECT_EXTRA;
+                            self.registry_bump("faults_corrected");
+                            self.note_fault(at, "faults_single_bit");
+                        }
+                        ReadFault::DoubleBit { .. } => {
+                            self.note_fault(at, "faults_uncorrectable");
+                            failed_delivery = true;
+                        }
+                    }
+                }
+            }
+            self.lanes[lane] = at + service;
+
+            if failed_delivery {
+                // Uncorrectable delivery: bounded retry with the fault
+                // plan's exponential backoff, then a visible failure.
+                if req.attempts < self.cfg.retry_budget {
+                    let delay = self
+                        .plan
+                        .as_ref()
+                        .expect("plan present")
+                        .retry_delay(req.attempts);
+                    req.attempts += 1;
+                    req.due = at + service + delay.max(1) + self.cfg.deadline;
+                    self.summary.retries += 1;
+                    self.push_event(at + service + delay.max(1), EvKind::Readmit { req });
+                } else {
+                    self.terminal(&req, "failed");
+                }
+                continue;
+            }
+
+            // Retirement: the completion cycle is known at dispatch.
+            let completion = at + service;
+            let latency = completion.saturating_sub(req.born);
+            self.registry.observe(self.h_latency, latency);
+            self.registry
+                .observe(self.h_class[req.class.index()], latency);
+            self.summary.retired += 1;
+            let met_slo = latency <= self.cfg.slo.target;
+            if met_slo {
+                self.summary.slo_ok += 1;
+            }
+            let row = self
+                .table
+                .row_mut(self.tenants[req.slot as usize].id as usize);
+            row.generated += 1;
+            row.admitted += 1;
+            row.retired += 1;
+            row.retries += u64::from(req.attempts);
+            row.latency_sum += latency;
+            row.latency_max = row.latency_max.max(latency);
+            if met_slo {
+                row.slo_ok += 1;
+            }
+        }
+    }
+
+    /// The next cycle at which anything can happen: the earliest
+    /// pending event, or the earliest lane-free horizon while work is
+    /// queued.
+    fn next_event(&self) -> Option<u64> {
+        let mut next = self.events.peek().map(|Reverse(ev)| ev.at);
+        if !self.queue.is_empty() && self.lanes.iter().all(|&busy| busy > self.clock) {
+            let lane_free = self.lanes.iter().copied().min().unwrap_or(u64::MAX);
+            next = Some(next.map_or(lane_free, |n| n.min(lane_free)));
+        }
+        next
+    }
+
+    /// Runs the shard to completion and returns its outcome.
+    pub fn run_to_completion(mut self) -> ShardOutcome {
+        loop {
+            // Drain everything scheduled at the current cycle, then
+            // dispatch onto whatever lanes are free.
+            while let Some(Reverse(ev)) = self.events.peek() {
+                if ev.at > self.clock {
+                    break;
+                }
+                let Reverse(ev) = self.events.pop().expect("peeked event");
+                match ev.kind {
+                    EvKind::Generate { slot } => {
+                        let at = ev.at;
+                        let tenant = &mut self.tenants[slot as usize];
+                        debug_assert!(tenant.remaining > 0);
+                        tenant.remaining -= 1;
+                        let is_read = tenant.rng.next_below(u64::from(BP_SCALE))
+                            < u64::from(self.cfg.read_fraction_bp);
+                        let class = tenant.class;
+                        let gap = if tenant.remaining > 0 {
+                            Some(Self::draw_gap(tenant))
+                        } else {
+                            None
+                        };
+                        self.summary.generated += 1;
+                        let req = Request {
+                            slot,
+                            class,
+                            is_read,
+                            born: at,
+                            due: at + self.cfg.deadline,
+                            attempts: 0,
+                            defers: 0,
+                            counted_admit: false,
+                        };
+                        if let Some(gap) = gap {
+                            self.push_event(at + gap, EvKind::Generate { slot });
+                        }
+                        self.admit(req, at);
+                    }
+                    EvKind::Readmit { req } => {
+                        self.admit(req, ev.at);
+                    }
+                }
+            }
+            self.dispatch(self.clock);
+
+            let Some(next) = self.next_event() else {
+                break;
+            };
+            debug_assert!(next > self.clock, "horizon must advance");
+            self.reassess(self.clock);
+            self.level_cycles[self.level.index()] += next - self.clock;
+            self.clock = next;
+        }
+
+        debug_assert!(self.queue.is_empty() && self.events.is_empty());
+        // Fold the ladder/degradation tallies into the snapshot.
+        for (level, cycles) in ServiceLevel::ALL.iter().zip(self.level_cycles) {
+            let id = self.registry.counter(match level {
+                ServiceLevel::Full => "level_full_cycles",
+                ServiceLevel::ReadPriority => "level_read_priority_cycles",
+                ServiceLevel::CriticalOnly => "level_critical_only_cycles",
+                ServiceLevel::Shed => "level_shed_cycles",
+            });
+            self.registry.add(id, cycles);
+        }
+        if let Some(plan) = self.plan.as_ref() {
+            let d = plan.degrade();
+            let id = self.registry.counter("degraded_exits");
+            self.registry.add(id, d.exits());
+            let id = self.registry.counter("degraded_cycles");
+            self.registry.add(id, d.degraded_cycles(Cycle(self.clock)));
+        }
+        let peak = self.registry.gauge("peak_ingress", GaugeRule::Max);
+        self.registry
+            .set_gauge(peak, self.summary.peak_ingress as f64);
+        for (name, value) in [
+            ("generated", self.summary.generated),
+            ("admitted", self.summary.admitted),
+            ("retired", self.summary.retired),
+            ("shed_throttled", self.summary.shed_throttled),
+            ("shed_overflow", self.summary.shed_overflow),
+            ("shed_degraded", self.summary.shed_degraded),
+            ("shed_deadline", self.summary.shed_deadline),
+            ("failed_visible", self.summary.failed),
+            ("retries", self.summary.retries),
+            ("deferrals", self.summary.deferrals),
+            ("slo_ok", self.summary.slo_ok),
+        ] {
+            let id = self.registry.counter(name);
+            self.registry.add(id, value);
+        }
+
+        debug_assert!(
+            self.summary.conserved(),
+            "shard {} leaked a request: {:?}",
+            self.shard,
+            self.summary
+        );
+        ShardOutcome {
+            summary: self.summary,
+            snapshot: self.registry.snapshot(),
+            tenants: self.table,
+            level_cycles: self.level_cycles,
+            end_cycle: self.clock,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcmap_types::FaultConfig;
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig::paper_default()
+            .with_tenants(8)
+            .with_requests(2_000)
+            .with_fleet(2, 1, 2)
+    }
+
+    #[test]
+    fn shard_conserves_every_request_fault_free() {
+        let cfg = small_cfg();
+        let mut total = ServeSummary::default();
+        for shard in 0..cfg.shards() {
+            let out = ShardSim::new(cfg.clone(), shard).run_to_completion();
+            assert!(out.summary.conserved(), "{:?}", out.summary);
+            total.merge(&out.summary);
+        }
+        assert_eq!(total.generated, cfg.requests);
+        assert!(total.conserved());
+        assert_eq!(total.failed, 0, "no faults, no visible failures");
+        assert_eq!(total.shed_degraded, 0, "no faults, ladder stays up");
+    }
+
+    #[test]
+    fn shard_conserves_under_storm_and_stays_bounded() {
+        let mut cfg = small_cfg().with_faults(FaultConfig::storm(0.2, 7));
+        cfg.requests = 4_000;
+        let mut total = ServeSummary::default();
+        let mut degraded_cycles = 0;
+        for shard in 0..cfg.shards() {
+            let out = ShardSim::new(cfg.clone(), shard).run_to_completion();
+            assert!(out.summary.conserved(), "{:?}", out.summary);
+            assert!(
+                out.summary.peak_ingress <= u64::from(cfg.ingress_cap),
+                "ingress must stay under the cap"
+            );
+            degraded_cycles += out.snapshot.counter("degraded_cycles");
+            total.merge(&out.summary);
+        }
+        assert_eq!(total.generated, cfg.requests);
+        assert!(total.retired > 0);
+        assert!(degraded_cycles > 0, "storm must demote at least one shard");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let cfg = small_cfg().with_faults(FaultConfig::storm(0.1, 9));
+        let a = ShardSim::new(cfg.clone(), 0).run_to_completion();
+        let b = ShardSim::new(cfg, 0).run_to_completion();
+        assert_eq!(a.summary, b.summary);
+        assert_eq!(a.end_cycle, b.end_cycle);
+        assert_eq!(a.level_cycles, b.level_cycles);
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_growing() {
+        // Tenants arriving far faster than two lanes can drain: the
+        // bounded queue must shed, and peak occupancy must respect the
+        // cap.
+        let mut cfg = small_cfg();
+        cfg.tenants = 8;
+        cfg.requests = 8_000;
+        for t in cfg.tenant_template.iter_mut() {
+            t.arrival_period = 4;
+            t.bucket_capacity = 1_000;
+            t.bucket_refill_period = 1;
+        }
+        cfg.ingress_cap = 32;
+        cfg.backpressure_high = 24;
+        cfg.backpressure_low = 8;
+        let out = ShardSim::new(cfg.clone(), 0).run_to_completion();
+        assert!(out.summary.conserved(), "{:?}", out.summary);
+        assert!(out.summary.peak_ingress <= 32);
+        assert!(
+            out.summary.shed_total() + out.summary.deferrals > 0,
+            "overload must shed or defer: {:?}",
+            out.summary
+        );
+    }
+
+    #[test]
+    fn ladder_sheds_noncritical_under_storm_pressure() {
+        // A violent storm with a tight degrade threshold must push some
+        // shard into critical-only or full shed at least once.
+        let mut cfg = small_cfg().with_faults(FaultConfig::storm(0.9, 11));
+        cfg.faults.degrade_threshold = 2;
+        cfg.requests = 6_000;
+        for t in cfg.tenant_template.iter_mut() {
+            t.arrival_period = 4;
+            t.bucket_capacity = 1_000;
+            t.bucket_refill_period = 1;
+        }
+        cfg.ingress_cap = 16;
+        cfg.backpressure_high = 8;
+        cfg.backpressure_low = 2;
+        let mut shed_degraded = 0;
+        let mut constrained_cycles = 0;
+        for shard in 0..cfg.shards() {
+            let out = ShardSim::new(cfg.clone(), shard).run_to_completion();
+            assert!(out.summary.conserved());
+            shed_degraded += out.summary.shed_degraded;
+            constrained_cycles += out.level_cycles[2] + out.level_cycles[3];
+        }
+        assert!(shed_degraded > 0, "ladder never shed anything");
+        assert!(constrained_cycles > 0, "ladder never left full service");
+    }
+}

@@ -23,11 +23,13 @@
 
 pub mod engine;
 pub mod experiments;
+pub mod ingest;
 pub mod report;
 pub mod sweep;
 pub mod system;
 
 pub use engine::{Engine, EventHeap, Tick, TickSource};
+pub use ingest::{GateDecision, IngressGate};
 pub use report::TableBuilder;
 pub use sweep::{SweepPoint, SweepRunner};
 pub use system::{RunReport, SimConfig, System};

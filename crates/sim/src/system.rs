@@ -1,6 +1,7 @@
 //! The event-driven full-system simulation.
 
 use crate::engine::{Engine, EventHeap, TickSource};
+use crate::ingest::{GateDecision, IngressGate};
 use pcmap_core::{build_controller, RollbackMode, SystemKind};
 use pcmap_cpu::core_model::{cpu_to_mem, mem_to_cpu, CoreAction, CoreModel};
 use pcmap_cpu::{RollbackModel, WorkOp};
@@ -13,7 +14,8 @@ use pcmap_obs::{
 };
 use pcmap_par::Pool;
 use pcmap_types::{
-    BankId, CoreId, CpuParams, Cycle, FaultConfig, MemOrg, QueueParams, TimingParams, Xoshiro256,
+    BankId, CoreId, CpuParams, Cycle, FaultConfig, MemOrg, QueueParams, ServeSummary, TimingParams,
+    Xoshiro256,
 };
 use pcmap_workloads::{CoreStream, StreamOp, Workload};
 use std::cmp::Reverse;
@@ -176,6 +178,11 @@ pub struct RunReport {
     /// runs keep byte-identical reports; `pcmap_explain` exports it as a
     /// sidecar document instead.
     pub lifecycle: Option<LifecycleReport>,
+    /// Serve-tier admission ledger, present when an [`IngressGate`] was
+    /// attached ([`System::set_ingress_gate`]). The JSON `serve` block
+    /// is emitted only when this is `Some`, so gateless runs (and every
+    /// golden anchor) keep their exact byte layout.
+    pub serve: Option<ServeSummary>,
     /// Faults injected across all classes (0 on fault-free runs).
     pub faults_injected: u64,
     /// Injected transient flips corrected in place by SECDED.
@@ -328,6 +335,30 @@ impl RunReport {
             Value::U64(self.corruption_rollbacks),
         );
         v.set("faults", faults);
+        // Present only when an ingress gate ran (mirrors the `lifecycle`
+        // out-of-band precedent: attaching observability/serve machinery
+        // must not reshape gateless reports).
+        if let Some(s) = &self.serve {
+            let mut serve = Value::obj();
+            serve.set("generated", Value::U64(s.generated));
+            serve.set("admitted", Value::U64(s.admitted));
+            serve.set("retired", Value::U64(s.retired));
+            serve.set("shed_throttled", Value::U64(s.shed_throttled));
+            serve.set("shed_overflow", Value::U64(s.shed_overflow));
+            serve.set("shed_degraded", Value::U64(s.shed_degraded));
+            serve.set("shed_deadline", Value::U64(s.shed_deadline));
+            serve.set("failed", Value::U64(s.failed));
+            serve.set("retries", Value::U64(s.retries));
+            serve.set("deferrals", Value::U64(s.deferrals));
+            serve.set("slo_ok", Value::U64(s.slo_ok));
+            serve.set(
+                "slo_attainment_bp",
+                Value::U64(u64::from(s.slo_attainment_bp())),
+            );
+            serve.set("peak_ingress", Value::U64(s.peak_ingress));
+            serve.set("conserved", Value::Bool(s.conserved()));
+            v.set("serve", serve);
+        }
         v.set("energy_dynamic_nj", Value::F64(self.energy_dynamic_nj));
         v.set("energy_total_nj", Value::F64(self.energy_total_nj));
         v.set("read_latency", self.read_latency_hist.to_json());
@@ -410,6 +441,9 @@ pub struct System {
     /// System-level lifecycle events (rollbacks; controller-agnostic, so
     /// `bank`/`req` carry placeholder values). Off unless tracing is on.
     events: EventLog,
+    /// Optional serve-tier admission gate on the issue path
+    /// (DESIGN.md §16). `None` leaves ingestion exactly as before.
+    gate: Option<Box<dyn IngressGate>>,
 }
 
 impl System {
@@ -499,7 +533,17 @@ impl System {
             m_rollbacks,
             m_failed,
             events: EventLog::disabled(),
+            gate: None,
         }
+    }
+
+    /// Attaches a serve-tier admission gate to the issue path
+    /// (DESIGN.md §16). The gate sees every would-be issue before the
+    /// request is materialized and may defer it; completions are echoed
+    /// back at their delivery cycle. The gate's [`ServeSummary`] lands
+    /// on [`RunReport::serve`] (and in the JSON `serve` block).
+    pub fn set_ingress_gate(&mut self, gate: Box<dyn IngressGate>) {
+        self.gate = Some(gate);
     }
 
     /// Enables lifecycle event recording on every channel and on the
@@ -719,6 +763,9 @@ impl System {
     }
 
     fn deliver(&mut self, d: Delivery, _now: Cycle) {
+        if let Some(gate) = self.gate.as_mut() {
+            gate.note_complete(d.core, d.is_read, d.when);
+        }
         if !d.is_read {
             return;
         }
@@ -852,6 +899,23 @@ impl System {
     }
 
     fn try_issue(&mut self, i: usize, is_read: bool, now: Cycle) -> bool {
+        // Serve-tier admission (DESIGN.md §16): a deferred request is
+        // charged to the core exactly like a full controller queue, so
+        // both engines re-poll it at the gate's wake cycle.
+        if let Some(gate) = self.gate.as_mut() {
+            if let GateDecision::Defer(until) = gate.admit(i, is_read, now) {
+                self.registry.add(self.m_retries, 1);
+                let retry_cpu = mem_to_cpu(until.max(Cycle(now.0 + 1)), &self.cfg.cpu).max(1);
+                if is_read {
+                    self.cores[i].read_blocked(retry_cpu);
+                } else {
+                    self.cores[i].write_blocked(retry_cpu);
+                }
+                self.core_next[i] =
+                    Some(cpu_to_mem(self.cores[i].now(), &self.cfg.cpu).max(Cycle(now.0 + 1)));
+                return false;
+            }
+        }
         let (addr, dirty) = match self.op_details[i] {
             Some(StreamOp::Read(a)) => (a, None),
             Some(StreamOp::Write { addr, dirty }) => (addr, Some(dirty)),
@@ -912,6 +976,11 @@ impl System {
                 true
             }
             Err(_) => {
+                // The queue bounced a request the gate admitted: unwind
+                // the admission so the serve ledger stays conserved.
+                if let Some(gate) = self.gate.as_mut() {
+                    gate.note_rejected(i, is_read, now);
+                }
                 self.registry.add(self.m_retries, 1);
                 let retry = self.ctrls[ch]
                     .next_wake(now)
@@ -1118,6 +1187,7 @@ impl System {
             events_dropped,
             lifetrace_dropped,
             lifecycle,
+            serve: self.gate.as_ref().map(|g| g.summary()),
             channels,
             cores,
             sim: self.registry.snapshot(),

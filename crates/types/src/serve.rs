@@ -1,0 +1,499 @@
+//! Service-tier configuration (DESIGN.md §16).
+//!
+//! The ROADMAP's production direction puts an ingestion tier in front of
+//! the memory system: thousands of tenants streaming requests into a
+//! sharded fleet of channels × DIMMs. [`ServeConfig`] parameterizes that
+//! tier — per-tenant token-bucket admission, bounded ingress queues,
+//! per-request deadlines with bounded retry + exponential backoff, and a
+//! graceful-degradation ladder driven by the PR 4 fault machinery — and
+//! [`ServeSummary`] is the conserved outcome ledger every serve run must
+//! balance: each generated request ends in exactly one terminal bucket.
+//!
+//! All knobs are integers (cycles, entries, basis points) so the serve
+//! tier stays inside the determinism lint's no-float-accumulation rule.
+
+use crate::error::{ConfigError, Result};
+use crate::faults::FaultConfig;
+
+/// Ten thousand basis points = 100%.
+pub const BP_SCALE: u32 = 10_000;
+
+/// Quality-of-service class of a tenant (DESIGN.md §16).
+///
+/// The degradation ladder uses the class to decide who is still admitted
+/// when capacity shrinks: `Critical` survives into admit-critical-only
+/// mode, `Background` is the first to be deferred under read-priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TenantClass {
+    /// Latency-critical traffic; admitted until the ladder hits `Shed`.
+    Critical,
+    /// Default interactive traffic.
+    Standard,
+    /// Bulk/batch traffic; shed first under pressure.
+    Background,
+}
+
+impl TenantClass {
+    /// All classes, in priority order.
+    pub const ALL: [TenantClass; 3] = [
+        TenantClass::Critical,
+        TenantClass::Standard,
+        TenantClass::Background,
+    ];
+
+    /// Stable lowercase name for reports.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TenantClass::Critical => "critical",
+            TenantClass::Standard => "standard",
+            TenantClass::Background => "background",
+        }
+    }
+
+    /// Index into per-class arrays ([`Self::ALL`] order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            TenantClass::Critical => 0,
+            TenantClass::Standard => 1,
+            TenantClass::Background => 2,
+        }
+    }
+}
+
+/// A per-tenant service-level objective.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloSpec {
+    /// A request meets its SLO when `completion - arrival <= target`
+    /// memory cycles.
+    pub target: u64,
+    /// Attainment goal in basis points of *retired* requests (9_500 =
+    /// 95.00%). Reporting-only: the fleet never blocks on it.
+    pub goal_bp: u32,
+}
+
+impl SloSpec {
+    /// Paper-scale default: 4k-cycle (10 µs at 400 MHz) target, 95% goal.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            target: 4_096,
+            goal_bp: 9_500,
+        }
+    }
+
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.target == 0 {
+            return Err(ConfigError::new("slo target must be positive"));
+        }
+        if self.goal_bp > BP_SCALE {
+            return Err(ConfigError::new("slo goal exceeds 100%"));
+        }
+        Ok(())
+    }
+}
+
+/// Per-class tenant template: arrival cadence and admission budget.
+///
+/// Tenants are stamped out of these templates by class mix rather than
+/// enumerated individually — a thousand-tenant fleet needs three
+/// templates, not a thousand rows of config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// QoS class of tenants stamped from this template.
+    pub class: TenantClass,
+    /// Mean inter-arrival gap between a tenant's requests, in memory
+    /// cycles (the generator draws uniformly in `1..=2*period`).
+    pub arrival_period: u64,
+    /// Token-bucket burst capacity, in whole tokens (1 token = 1
+    /// admitted request).
+    pub bucket_capacity: u32,
+    /// Memory cycles to refill one token.
+    pub bucket_refill_period: u64,
+}
+
+impl TenantSpec {
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.arrival_period == 0 {
+            return Err(ConfigError::new("tenant arrival period must be positive"));
+        }
+        if self.bucket_capacity == 0 {
+            return Err(ConfigError::new(
+                "token bucket needs capacity for one token",
+            ));
+        }
+        if self.bucket_refill_period == 0 {
+            return Err(ConfigError::new("token refill period must be positive"));
+        }
+        Ok(())
+    }
+}
+
+/// Full configuration of the `pcmap-serve` ingestion tier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Number of simulated tenants across the fleet.
+    pub tenants: u32,
+    /// Fleet shards are `channels × dimms`; each shard is an independent
+    /// sub-simulation (the unit of `--jobs` parallelism).
+    pub channels: u32,
+    /// DIMMs per channel.
+    pub dimms: u32,
+    /// Service lanes (ranks) per shard; total ranks =
+    /// `channels × dimms × ranks_per_shard`.
+    pub ranks_per_shard: u32,
+    /// Total requests generated across the fleet (split over tenants).
+    pub requests: u64,
+    /// Seed for arrival/fault streams (mixed per shard).
+    pub seed: u64,
+    /// Fraction of requests that are reads, in basis points.
+    pub read_fraction_bp: u32,
+    /// Hard cap on ingress-queue entries per shard — the bounded-memory
+    /// guarantee. Overload sheds; the queue never grows past this.
+    pub ingress_cap: u32,
+    /// Ingress occupancy at which backpressure asserts (new arrivals are
+    /// deferred with backoff instead of enqueued).
+    pub backpressure_high: u32,
+    /// Occupancy at which backpressure releases.
+    pub backpressure_low: u32,
+    /// Cycles from first arrival to required completion; a request still
+    /// queued past its deadline times out and re-enters with backoff.
+    pub deadline: u64,
+    /// Maximum re-admissions per request (timeout or failed service)
+    /// before it is failed upward visibly.
+    pub retry_budget: u32,
+    /// Base of the exponential ingestion backoff: retry `k` waits
+    /// `retry_backoff << k` cycles (shift saturated).
+    pub retry_backoff: u64,
+    /// Base service occupancy of a read at a rank, in cycles.
+    pub service_read: u64,
+    /// Base service occupancy of a write at a rank, in cycles.
+    pub service_write: u64,
+    /// Per-class tenant templates, `[critical, standard, background]`.
+    pub tenant_template: [TenantSpec; 3],
+    /// Class mix over tenants in basis points; must sum to [`BP_SCALE`].
+    pub class_mix_bp: [u32; 3],
+    /// Service-level objective applied to every retired request.
+    pub slo: SloSpec,
+    /// Fault injection driving the degradation ladder (reuses the §11
+    /// machinery; one `FaultPlan` per shard).
+    pub faults: FaultConfig,
+}
+
+impl ServeConfig {
+    /// Paper-scale default: 64 tenants over a 4-channel × 2-DIMM fleet
+    /// (8 shards × 4 ranks), faults disabled.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        let template = |class: TenantClass| TenantSpec {
+            class,
+            arrival_period: 96,
+            bucket_capacity: 16,
+            bucket_refill_period: 64,
+        };
+        Self {
+            tenants: 64,
+            channels: 4,
+            dimms: 2,
+            ranks_per_shard: 4,
+            requests: 20_000,
+            seed: 0x5e12_7e00,
+            read_fraction_bp: 7_000,
+            ingress_cap: 256,
+            backpressure_high: 192,
+            backpressure_low: 96,
+            deadline: 16_384,
+            retry_budget: 3,
+            retry_backoff: 32,
+            service_read: 28,
+            service_write: 56,
+            tenant_template: [
+                template(TenantClass::Critical),
+                template(TenantClass::Standard),
+                template(TenantClass::Background),
+            ],
+            class_mix_bp: [1_000, 6_000, 3_000],
+            slo: SloSpec::paper_default(),
+            faults: FaultConfig::disabled(),
+        }
+    }
+
+    /// The sustained-load soak profile behind `cargo xtask serve-soak`:
+    /// ≥1M requests from 1 024 tenants over 8 channels × 4 DIMMs ×
+    /// 8 ranks (256 ranks) under a seeded fault storm.
+    #[must_use]
+    pub fn soak() -> Self {
+        let mut cfg = Self::paper_default();
+        cfg.tenants = 1_024;
+        cfg.channels = 8;
+        cfg.dimms = 4;
+        cfg.ranks_per_shard = 8;
+        cfg.requests = 1_048_576;
+        cfg.faults = FaultConfig::storm(0.02, 0x5e12_f417);
+        cfg
+    }
+
+    /// Number of fleet shards (`channels × dimms`).
+    #[must_use]
+    pub fn shards(&self) -> u32 {
+        self.channels * self.dimms
+    }
+
+    /// Total service lanes across the fleet.
+    #[must_use]
+    pub fn total_ranks(&self) -> u32 {
+        self.shards() * self.ranks_per_shard
+    }
+
+    /// Replaces the tenant count.
+    #[must_use]
+    pub fn with_tenants(mut self, tenants: u32) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
+    /// Replaces the total request count.
+    #[must_use]
+    pub fn with_requests(mut self, requests: u64) -> Self {
+        self.requests = requests;
+        self
+    }
+
+    /// Replaces the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the fault configuration.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Replaces the SLO.
+    #[must_use]
+    pub fn with_slo(mut self, slo: SloSpec) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Replaces the fleet geometry.
+    #[must_use]
+    pub fn with_fleet(mut self, channels: u32, dimms: u32, ranks_per_shard: u32) -> Self {
+        self.channels = channels;
+        self.dimms = dimms;
+        self.ranks_per_shard = ranks_per_shard;
+        self
+    }
+
+    /// Checks internal consistency of the whole tier configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.tenants == 0 {
+            return Err(ConfigError::new("serve tier needs at least one tenant"));
+        }
+        if self.channels == 0 || self.dimms == 0 || self.ranks_per_shard == 0 {
+            return Err(ConfigError::new("fleet geometry must be non-zero"));
+        }
+        if self.requests == 0 {
+            return Err(ConfigError::new("serve run needs at least one request"));
+        }
+        if self.read_fraction_bp > BP_SCALE {
+            return Err(ConfigError::new("read fraction exceeds 100%"));
+        }
+        if self.ingress_cap == 0 {
+            return Err(ConfigError::new("ingress queue needs at least one entry"));
+        }
+        if self.backpressure_high > self.ingress_cap {
+            return Err(ConfigError::new(
+                "backpressure high watermark exceeds the ingress cap",
+            ));
+        }
+        if self.backpressure_low >= self.backpressure_high {
+            return Err(ConfigError::new(
+                "backpressure low watermark must sit below the high watermark",
+            ));
+        }
+        if self.deadline == 0 {
+            return Err(ConfigError::new("request deadline must be positive"));
+        }
+        if self.retry_backoff == 0 && self.retry_budget > 0 {
+            return Err(ConfigError::new("retry backoff must be positive"));
+        }
+        if self.service_read == 0 || self.service_write == 0 {
+            return Err(ConfigError::new("service occupancies must be positive"));
+        }
+        if self.class_mix_bp.iter().sum::<u32>() != BP_SCALE {
+            return Err(ConfigError::new("class mix must sum to 10000 basis points"));
+        }
+        for spec in &self.tenant_template {
+            spec.validate()?;
+        }
+        self.slo.validate()?;
+        self.faults.validate()?;
+        Ok(())
+    }
+}
+
+/// Conserved outcome ledger of a serve run (or of one shard of it).
+///
+/// Every generated request ends in exactly one terminal bucket:
+/// retired, one of the shed classes, or failed-visibly. The fleet
+/// asserts [`Self::conserved`] before reporting — an unaccounted
+/// request is a bug, not a statistic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests generated by the tenant arrival streams.
+    pub generated: u64,
+    /// Requests that passed admission into an ingress queue (counted
+    /// once per request, not per retry).
+    pub admitted: u64,
+    /// Requests completed by a service lane.
+    pub retired: u64,
+    /// Requests shed because the tenant's token bucket was empty.
+    pub shed_throttled: u64,
+    /// Requests shed because the ingress queue was at its hard cap.
+    pub shed_overflow: u64,
+    /// Requests shed by the degradation ladder (admit-critical-only or
+    /// full shed).
+    pub shed_degraded: u64,
+    /// Requests that exhausted deadline + retry budget while queued.
+    pub shed_deadline: u64,
+    /// Requests failed upward visibly after service-side faults
+    /// exhausted the retry budget.
+    pub failed: u64,
+    /// Re-admissions taken (timeout or failed service; not terminal).
+    pub retries: u64,
+    /// Arrivals deferred (with backoff) because backpressure was
+    /// asserted; not terminal.
+    pub deferrals: u64,
+    /// Retired requests that met the SLO target.
+    pub slo_ok: u64,
+    /// Highest ingress-queue occupancy observed on any shard; must stay
+    /// at or under the configured cap.
+    pub peak_ingress: u64,
+}
+
+impl ServeSummary {
+    /// Total shed across all shed classes.
+    #[must_use]
+    pub fn shed_total(&self) -> u64 {
+        self.shed_throttled + self.shed_overflow + self.shed_degraded + self.shed_deadline
+    }
+
+    /// The conservation invariant: every generated request reached
+    /// exactly one terminal outcome.
+    #[must_use]
+    pub fn conserved(&self) -> bool {
+        self.generated == self.retired + self.shed_total() + self.failed
+    }
+
+    /// SLO attainment in basis points of retired requests (full scale
+    /// when nothing retired).
+    #[must_use]
+    pub fn slo_attainment_bp(&self) -> u32 {
+        if self.retired == 0 {
+            return BP_SCALE;
+        }
+        let bp = self.slo_ok.saturating_mul(u64::from(BP_SCALE)) / self.retired;
+        // Attainment is a ratio of two u64 counters scaled to <= 10_000.
+        bp.min(u64::from(BP_SCALE)) as u32
+    }
+
+    /// Accumulates another summary: counters add, peaks take the max.
+    pub fn merge(&mut self, other: &ServeSummary) {
+        self.generated += other.generated;
+        self.admitted += other.admitted;
+        self.retired += other.retired;
+        self.shed_throttled += other.shed_throttled;
+        self.shed_overflow += other.shed_overflow;
+        self.shed_degraded += other.shed_degraded;
+        self.shed_deadline += other.shed_deadline;
+        self.failed += other.failed;
+        self.retries += other.retries;
+        self.deferrals += other.deferrals;
+        self.slo_ok += other.slo_ok;
+        self.peak_ingress = self.peak_ingress.max(other.peak_ingress);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        ServeConfig::paper_default().validate().unwrap();
+        ServeConfig::soak().validate().unwrap();
+    }
+
+    #[test]
+    fn soak_profile_hits_issue_scale() {
+        let cfg = ServeConfig::soak();
+        assert!(cfg.requests >= 1_000_000);
+        assert!(cfg.tenants >= 1_000);
+        assert!(cfg.total_ranks() >= 100, "hundreds of ranks");
+        assert!(cfg.faults.enabled());
+    }
+
+    #[test]
+    fn validation_rejects_bad_watermarks() {
+        let mut cfg = ServeConfig::paper_default();
+        cfg.backpressure_low = cfg.backpressure_high;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ServeConfig::paper_default();
+        cfg.backpressure_high = cfg.ingress_cap + 1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_mix() {
+        let mut cfg = ServeConfig::paper_default();
+        cfg.class_mix_bp = [5_000, 5_000, 1];
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn summary_conservation_and_merge() {
+        let mut a = ServeSummary {
+            generated: 10,
+            admitted: 8,
+            retired: 6,
+            shed_throttled: 1,
+            shed_overflow: 1,
+            shed_degraded: 0,
+            shed_deadline: 1,
+            failed: 1,
+            retries: 2,
+            deferrals: 3,
+            slo_ok: 5,
+            peak_ingress: 7,
+        };
+        assert!(a.conserved());
+        let b = ServeSummary {
+            generated: 4,
+            retired: 4,
+            peak_ingress: 9,
+            slo_ok: 4,
+            ..ServeSummary::default()
+        };
+        a.merge(&b);
+        assert!(a.conserved());
+        assert_eq!(a.generated, 14);
+        assert_eq!(a.peak_ingress, 9);
+        assert_eq!(a.slo_attainment_bp(), 9 * 10_000 / 10);
+    }
+
+    #[test]
+    fn class_round_trip() {
+        for c in TenantClass::ALL {
+            assert_eq!(TenantClass::ALL[c.index()], c);
+            assert!(!c.as_str().is_empty());
+        }
+    }
+}

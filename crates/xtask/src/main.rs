@@ -10,6 +10,7 @@
 //! cargo xtask check    # PCMAP_CHECK=1 release experiment runs (protocol invariants)
 //! cargo xtask pardiff  # serial vs parallel JSON byte-diff gate
 //! cargo xtask soak     # seeded fault-storm recovery gate -> results/soak.json
+//! cargo xtask serve-soak # overload-safe ingestion gate -> results/serve_soak.json
 //! cargo xtask explain  # lifecycle conservation gate -> results/explain.json
 //! cargo xtask perf     # performance trajectory -> BENCH_<n>.json (--smoke, --alloc)
 //! ```
@@ -295,6 +296,29 @@ fn soak() -> Result<(), String> {
     )
 }
 
+/// The serve-tier soak gate (DESIGN.md §16): ≥1M requests from ≥1k
+/// tenants over hundreds of ranks under a seeded fault storm, run at
+/// `--jobs 1` and `--jobs 4` and byte-compared, with conservation (every
+/// request retired, shed, or failed visibly), the bounded-ingress cap,
+/// and a demonstrated degradation ladder all asserted. The verdict lands
+/// in `results/serve_soak.json`.
+fn serve_soak() -> Result<(), String> {
+    step(
+        "serve-soak",
+        &[
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "pcmap-bench",
+            "--bin",
+            "pcmap_serve",
+            "--",
+            "--soak",
+        ],
+    )
+}
+
 /// The request-lifecycle conservation gate (DESIGN.md §13): traces a
 /// small scenario end to end with `pcmap_explain --smoke`, which asserts
 /// that every traced request's interval timeline partitions
@@ -336,6 +360,7 @@ fn main() -> ExitCode {
             .and_then(|()| check())
             .and_then(|()| pardiff())
             .and_then(|()| soak())
+            .and_then(|()| serve_soak())
             .and_then(|()| explain())
             .and_then(|()| perf::perf(true, false)),
         "fmt" => step("fmt", &["fmt", "--all"]),
@@ -346,6 +371,7 @@ fn main() -> ExitCode {
         "check" => check(),
         "pardiff" => pardiff(),
         "soak" => soak(),
+        "serve-soak" => serve_soak(),
         "explain" => explain(),
         "perf" => perf::perf(
             rest.iter().any(|a| a == "--smoke"),
@@ -353,7 +379,7 @@ fn main() -> ExitCode {
         ),
         _ => {
             eprintln!(
-                "usage: cargo xtask <ci|fmt|lint|analyze|clippy|test|check|pardiff|soak|explain|perf [--smoke] [--alloc]>"
+                "usage: cargo xtask <ci|fmt|lint|analyze|clippy|test|check|pardiff|soak|serve-soak|explain|perf [--smoke] [--alloc]>"
             );
             return ExitCode::from(2);
         }
